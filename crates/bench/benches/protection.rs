@@ -1,0 +1,94 @@
+//! Criterion benches of the protection engines themselves and an
+//! end-to-end protected run on a small network — the ablation bench for
+//! the VN-scheme design choice (DESIGN.md §6.1) and MAC granularity (§6.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use guardnn::perf::{evaluate, EvalConfig, Mode, Scheme};
+use guardnn_memprot::baseline::BaselineMee;
+use guardnn_memprot::guardnn::{GuardNnConfig, GuardNnEngine, Protection};
+use guardnn_memprot::{ProtectionEngine, StreamClass};
+use guardnn_models::layer::{conv, fc};
+use guardnn_models::Network;
+use std::hint::black_box;
+
+const FOOTPRINT: u64 = 1 << 30;
+
+fn stream_blocks(engine: &mut dyn ProtectionEngine, blocks: u64) -> usize {
+    let mut meta = 0usize;
+    for b in 0..blocks {
+        meta += engine
+            .on_access(b * 64, b % 4 == 0, StreamClass::FeatureWrite)
+            .len();
+    }
+    meta + engine.flush().len()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let blocks = 65_536u64;
+    let mut g = c.benchmark_group("protection_engines");
+    g.throughput(Throughput::Bytes(blocks * 64));
+    g.bench_function("baseline_mee_4MiB", |b| {
+        b.iter(|| {
+            let mut e = BaselineMee::with_defaults(FOOTPRINT);
+            black_box(stream_blocks(&mut e, blocks))
+        })
+    });
+    g.bench_function("guardnn_ci_4MiB", |b| {
+        b.iter(|| {
+            let mut e = GuardNnEngine::confidentiality_and_integrity(FOOTPRINT);
+            black_box(stream_blocks(&mut e, blocks))
+        })
+    });
+    g.finish();
+}
+
+/// Ablation: MAC granularity sweep (DESIGN.md §6.2). Larger chunks →
+/// fewer MAC lines touched per byte.
+fn bench_mac_granularity(c: &mut Criterion) {
+    let blocks = 65_536u64;
+    let mut g = c.benchmark_group("mac_granularity");
+    for chunk in [64u64, 128, 256, 512, 1024, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, &chunk| {
+            b.iter(|| {
+                let cfg = GuardNnConfig {
+                    protection: Protection::ConfidentialityIntegrity,
+                    mac_chunk_bytes: chunk,
+                    ..Default::default()
+                };
+                let mut e = GuardNnEngine::new(FOOTPRINT, cfg);
+                black_box(stream_blocks(&mut e, blocks))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let net = Network::new(
+        "bench-net",
+        vec![
+            conv("c1", 32, 8, 16, 3, 1, 1),
+            conv("c2", 32, 16, 16, 3, 1, 1),
+            fc("f1", 1, 16 * 32 * 32, 256),
+        ],
+    );
+    let cfg = EvalConfig::default();
+    let mut g = c.benchmark_group("protected_run");
+    g.sample_size(10);
+    for scheme in Scheme::all() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &s| b.iter(|| black_box(evaluate(&net, Mode::Inference, s, &cfg))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engines,
+    bench_mac_granularity,
+    bench_end_to_end
+);
+criterion_main!(benches);

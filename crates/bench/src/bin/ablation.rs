@@ -1,0 +1,107 @@
+//! Ablation studies for the design choices called out in DESIGN.md §6:
+//!
+//! 1. BP's sensitivity to its on-chip metadata cache size (GuardNN has no
+//!    such cache to size — its VNs are a handful of registers).
+//! 2. GuardNN_CI MAC granularity (the paper matches it to the
+//!    accelerator's 512-byte write granularity).
+//! 3. Systolic dataflow (WS / OS / IS) compute cycles.
+//!
+//! Run with `cargo run --release -p guardnn-bench --bin ablation`.
+
+use guardnn::perf::{evaluate, EvalConfig, Mode, Scheme};
+use guardnn_bench::{f, Table};
+use guardnn_memprot::baseline::MeeConfig;
+use guardnn_memprot::guardnn::{GuardNnConfig, GuardNnEngine, Protection};
+use guardnn_memprot::harness::run_protected;
+use guardnn_models::graph::ExecutionPlan;
+use guardnn_models::zoo;
+use guardnn_systolic::{simulate_gemm, ArrayConfig, Dataflow, TraceBuilder};
+
+fn main() {
+    let net = zoo::resnet50();
+
+    // 1. BP metadata-cache sweep.
+    println!("\nAblation 1 — BP metadata cache size (ResNet-50 inference)\n");
+    let mut t = Table::new(vec!["cache (KiB)", "traffic increase %", "normalized time"]);
+    let np = evaluate(
+        &net,
+        Mode::Inference,
+        Scheme::NoProtection,
+        &EvalConfig::default(),
+    );
+    for kib in [8u64, 16, 32, 64, 128, 256] {
+        let cfg = EvalConfig {
+            mee: MeeConfig {
+                cache_bytes: kib << 10,
+                ..MeeConfig::default()
+            },
+            ..EvalConfig::default()
+        };
+        let bp = evaluate(&net, Mode::Inference, Scheme::Baseline, &cfg);
+        t.row(vec![
+            kib.to_string(),
+            f(bp.traffic_increase() * 100.0, 2),
+            f(bp.normalized_to(&np), 4),
+        ]);
+        eprintln!("  BP cache {kib} KiB done");
+    }
+    t.print();
+    println!("(GuardNN needs no metadata cache at all: its VNs are on-chip registers.)");
+
+    // 2. GuardNN MAC granularity sweep.
+    println!("\nAblation 2 — GuardNN_CI MAC granularity (ResNet-50 inference)\n");
+    let plan = ExecutionPlan::inference(&net);
+    let array = ArrayConfig::tpu_v1();
+    let tb = TraceBuilder::new(array, &plan);
+    let trace = tb.build(&plan);
+    let mut t = Table::new(vec!["MAC chunk (B)", "traffic increase %"]);
+    for chunk in [64u64, 128, 256, 512, 1024, 4096] {
+        let cfg = GuardNnConfig {
+            protection: Protection::ConfidentialityIntegrity,
+            mac_chunk_bytes: chunk,
+            ..Default::default()
+        };
+        let mut engine = GuardNnEngine::new(tb.footprint(), cfg);
+        let summary = run_protected(
+            &trace,
+            &mut engine,
+            guardnn_dram::DramConfig::ddr4_2400_16gb(),
+            array.clock_mhz,
+        );
+        t.row(vec![
+            chunk.to_string(),
+            f(summary.traffic_increase() * 100.0, 2),
+        ]);
+        eprintln!("  MAC chunk {chunk} B done");
+    }
+    t.print();
+    println!("(The paper picks 512 B — the prototype accelerator's write granularity.)");
+
+    // 3. Dataflow comparison.
+    println!("\nAblation 3 — systolic dataflow compute cycles (relative to WS)\n");
+    let mut t = Table::new(vec!["network", "WS", "OS", "IS"]);
+    for net in [zoo::alexnet(), zoo::resnet50(), zoo::bert_base()] {
+        let cycles = |dataflow: Dataflow| -> u64 {
+            let cfg = ArrayConfig {
+                dataflow,
+                ..ArrayConfig::tpu_v1()
+            };
+            let plan = ExecutionPlan::inference(&net);
+            plan.passes()
+                .iter()
+                .filter_map(|p| plan.gemm(p))
+                .map(|g| simulate_gemm(&cfg, g).cycles)
+                .sum()
+        };
+        let ws = cycles(Dataflow::WeightStationary);
+        let os = cycles(Dataflow::OutputStationary);
+        let is = cycles(Dataflow::InputStationary);
+        t.row(vec![
+            net.name().to_string(),
+            "1.000".to_string(),
+            f(os as f64 / ws as f64, 3),
+            f(is as f64 / ws as f64, 3),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,41 @@
+//! Regenerates the §III-C **ASIC power/area overhead** estimate: matching
+//! TPU-v1's 272 Gbps memory bandwidth with 28 nm AES engines costs ~0.3%
+//! area and ~1.8% power (paper: 344 engines).
+//!
+//! Run with `cargo run --release -p guardnn-bench --bin asic_overhead`.
+
+use guardnn_bench::{f, Table};
+use guardnn_fpga::asic::AsicModel;
+
+fn main() {
+    let model = AsicModel::default();
+    let o = model.overhead();
+    println!("\nASIC overhead of GuardNN AES engines vs TPU-v1 (28 nm)\n");
+    let mut t = Table::new(vec!["quantity", "model", "paper"]);
+    t.row(vec![
+        "AES engines".to_string(),
+        o.engines.to_string(),
+        "344".to_string(),
+    ]);
+    t.row(vec![
+        "added area (mm²)".into(),
+        f(o.area_mm2, 2),
+        "~1.07".to_string(),
+    ]);
+    t.row(vec![
+        "area overhead (%)".into(),
+        f(o.area_percent, 2),
+        "0.3".to_string(),
+    ]);
+    t.row(vec![
+        "added power (W)".into(),
+        f(o.power_w, 2),
+        "~1.32".to_string(),
+    ]);
+    t.row(vec![
+        "power overhead (%)".into(),
+        f(o.power_percent, 2),
+        "1.8".to_string(),
+    ]);
+    t.print();
+}

@@ -1,0 +1,83 @@
+//! Regenerates **Figure 3**: normalized execution time of DNN inference
+//! (3a) and training (3b) under GuardNN_C, GuardNN_CI and BP, on the
+//! TPU-v1-class simulated accelerator with 16 GB DDR4.
+//!
+//! Run with
+//! `cargo run --release -p guardnn-bench --bin fig3 -- [inference|training|both] [--json]`
+//! (`--json` additionally emits one machine-readable record per run).
+
+use guardnn::perf::{evaluate_all, EvalConfig, Mode, Scheme};
+use guardnn_bench::json::run_summary_json;
+use guardnn_bench::{f, Table};
+use guardnn_models::{zoo, Network};
+
+fn run_suite(title: &str, nets: &[Network], mode: Mode, json: bool) {
+    println!("\nFigure 3 — {title}: execution time normalized to no protection (NP)\n");
+    let cfg = EvalConfig::default();
+    let mut table = Table::new(vec!["network", "GuardNN_C", "GuardNN_CI", "BP"]);
+    let mut geo = [1.0f64; 3];
+    for net in nets {
+        let results = evaluate_all(net, mode, &cfg);
+        if json {
+            for (_, r) in &results {
+                println!("{}", run_summary_json(net.name(), title, r).render());
+            }
+        }
+        let get = |s: Scheme| {
+            results
+                .iter()
+                .find(|(sc, _)| *sc == s)
+                .map(|(_, r)| r)
+                .expect("scheme present")
+        };
+        let np = get(Scheme::NoProtection);
+        let gc = get(Scheme::GuardNnC).normalized_to(np);
+        let gci = get(Scheme::GuardNnCi).normalized_to(np);
+        let bp = get(Scheme::Baseline).normalized_to(np);
+        geo[0] *= gc;
+        geo[1] *= gci;
+        geo[2] *= bp;
+        table.row(vec![net.name().to_string(), f(gc, 4), f(gci, 4), f(bp, 4)]);
+        eprintln!("  done: {}", net.name());
+    }
+    let n = nets.len() as f64;
+    table.row(vec![
+        "geomean".to_string(),
+        f(geo[0].powf(1.0 / n), 4),
+        f(geo[1].powf(1.0 / n), 4),
+        f(geo[2].powf(1.0 / n), 4),
+    ]);
+    table.print();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let arg = args
+        .iter()
+        .find(|a| *a != "--json")
+        .cloned()
+        .unwrap_or_else(|| "both".to_string());
+    if arg == "inference" || arg == "both" {
+        run_suite(
+            "inference (Fig. 3a)",
+            &zoo::figure3_inference_suite(),
+            Mode::Inference,
+            json,
+        );
+        println!(
+            "\nPaper reference: BP averages 1.25×; GuardNN_CI ≈ 1.0105×; GuardNN_C ≈ 1.0104×."
+        );
+    }
+    if arg == "training" || arg == "both" {
+        run_suite(
+            "training (Fig. 3b)",
+            &zoo::figure3_training_suite(),
+            Mode::Training { batch: 4 },
+            json,
+        );
+        println!(
+            "\nPaper reference: BP averages 1.29×; GuardNN_CI ≈ 1.0107×; GuardNN_C ≈ 1.0105×."
+        );
+    }
+}

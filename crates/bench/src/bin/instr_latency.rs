@@ -1,0 +1,49 @@
+//! Regenerates the §III-B **instruction latency** measurements:
+//! GetPK+InitSession 23.1 ms, SetWeight {19.5, 2.2, 8.0, 43.3} ms,
+//! SetInput 0.1 ms, ExportOutput 0.01 ms, SignOutput 4.8 ms.
+//!
+//! Run with `cargo run --release -p guardnn-bench --bin instr_latency`.
+
+use guardnn_bench::{f, Table};
+use guardnn_fpga::microblaze::MicroblazeModel;
+use guardnn_models::zoo;
+
+fn main() {
+    let m = MicroblazeModel::default();
+    println!("\nGuardNN instruction latencies on the MicroBlaze model\n");
+
+    let mut t = Table::new(vec!["instruction", "model (ms)", "paper (ms)"]);
+    t.row(vec![
+        "GetPK + InitSession".into(),
+        f(m.handshake_s() * 1e3, 2),
+        "23.10".to_string(),
+    ]);
+    for (net, paper) in [
+        (zoo::alexnet(), 19.5),
+        (zoo::googlenet(), 2.2),
+        (zoo::resnet50(), 8.0),
+        (zoo::vgg16(), 43.3),
+    ] {
+        t.row(vec![
+            format!("SetWeight ({})", net.name()),
+            f(m.set_weight_s(&net, 1.0) * 1e3, 2),
+            f(paper, 2),
+        ]);
+    }
+    t.row(vec![
+        "SetInput (224×224×3)".into(),
+        f(m.set_input_s(224.0 * 224.0 * 3.0) * 1e3, 3),
+        "0.100".to_string(),
+    ]);
+    t.row(vec![
+        "ExportOutput (1000 cls)".into(),
+        f(m.export_output_s(1000.0) * 1e3, 3),
+        "0.010".to_string(),
+    ]);
+    t.row(vec![
+        "SignOutput".into(),
+        f(m.sign_output_s() * 1e3, 2),
+        "4.80".to_string(),
+    ]);
+    t.print();
+}

@@ -1,0 +1,78 @@
+//! Per-layer analysis report (SCALE-Sim style): cycles, utilization, and
+//! DRAM traffic for every layer of a network, plus where the protection
+//! overhead lands.
+//!
+//! Run with
+//! `cargo run --release -p guardnn-bench --bin layers -- <network> [training]`.
+
+use guardnn_bench::{f, Table};
+use guardnn_models::graph::ExecutionPlan;
+use guardnn_models::zoo;
+use guardnn_systolic::{simulate_gemm, ArrayConfig, TraceBuilder};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "alexnet".to_string());
+    let training = args.next().as_deref() == Some("training");
+    let Some(net) = zoo::by_name(&name) else {
+        eprintln!("unknown network {name:?}");
+        std::process::exit(1);
+    };
+    let mut array = ArrayConfig::tpu_v1();
+    array.bytes_per_elem = if training { 2 } else { 1 };
+    let plan = if training {
+        ExecutionPlan::training(&net, 4)
+    } else {
+        ExecutionPlan::inference(&net)
+    };
+    let tb = TraceBuilder::new(array, &plan);
+    let trace = tb.build(&plan);
+
+    println!(
+        "\n{} — per-pass breakdown ({}; {}×{} array, {} MB SRAM)\n",
+        net.name(),
+        if training {
+            "training, batch 4"
+        } else {
+            "inference"
+        },
+        array.rows,
+        array.cols,
+        array.total_sram() >> 20,
+    );
+    let mut t = Table::new(vec![
+        "pass",
+        "layer",
+        "kind",
+        "MACs (M)",
+        "cycles (k)",
+        "util %",
+        "DRAM (KiB)",
+    ]);
+    for (i, (pass, perf)) in plan.passes().iter().zip(trace.passes().iter()).enumerate() {
+        let layer = plan.layer_of(pass);
+        let (macs, util) = match plan.gemm(pass) {
+            Some(g) => {
+                let p = simulate_gemm(&array, g);
+                (g.macs(), p.utilization() * 100.0)
+            }
+            None => (0, 0.0),
+        };
+        t.row(vec![
+            i.to_string(),
+            layer.name.clone(),
+            format!("{:?}", pass.kind),
+            f(macs as f64 / 1e6, 1),
+            f(perf.compute_cycles as f64 / 1e3, 1),
+            f(util, 1),
+            f(perf.dram_bytes as f64 / 1024.0, 0),
+        ]);
+    }
+    t.print();
+    println!(
+        "\ntotals: {:.2} GMACs, {:.2}M compute cycles, {:.1} MiB DRAM traffic",
+        net.total_macs() as f64 / 1e9,
+        trace.total_compute_cycles() as f64 / 1e6,
+        trace.total_bytes() as f64 / (1 << 20) as f64,
+    );
+}

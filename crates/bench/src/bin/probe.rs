@@ -1,0 +1,27 @@
+//! Diagnostic probe: per-scheme DRAM behaviour (traffic, row-buffer hit
+//! rate, achieved bandwidth) for one network — the tool used to attribute
+//! protection overhead between extra traffic and lost DRAM efficiency.
+//!
+//! Run with `cargo run --release -p guardnn-bench --bin probe -- <network>`.
+use guardnn::perf::{evaluate, EvalConfig, Mode, Scheme};
+use guardnn_models::zoo;
+
+fn main() {
+    let net = zoo::by_name(&std::env::args().nth(1).unwrap_or_else(|| "vgg".into())).expect("net");
+    let cfg = EvalConfig::default();
+    for s in Scheme::all() {
+        let r = evaluate(&net, Mode::Inference, s, &cfg);
+        let total = r.data_bytes + r.meta_bytes;
+        println!(
+            "{:10} data={:>6.1}MB meta={:>6.1}MB hit_rate={:.3} conflicts={} misses={} bpc={:.2} exec={:.3}ms",
+            r.scheme,
+            r.data_bytes as f64 / 1e6,
+            r.meta_bytes as f64 / 1e6,
+            r.dram.row_hit_rate(),
+            r.dram.row_conflicts,
+            r.dram.row_misses,
+            (total as f64) / r.dram.total_cycles as f64,
+            r.exec_ns / 1e6,
+        );
+    }
+}

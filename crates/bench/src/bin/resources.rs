@@ -1,0 +1,44 @@
+//! Regenerates the §III-B **resource overhead** numbers: AES core LUT/FF
+//! overhead (8.2% / 2.6%) and MicroBlaze LUT/FF/BRAM/DSP overhead
+//! (2.5% / 1.9% / 11.0% / 0.9%) over the 512-DSP CHaiDNN base design.
+//!
+//! Run with `cargo run --release -p guardnn-bench --bin resources`.
+
+use guardnn_bench::{f, Table};
+use guardnn_fpga::resources::{guardnn_addition, Resources};
+
+fn main() {
+    let base = Resources::chaidnn_512_base();
+    println!("\nFPGA resource overhead over CHaiDNN (512 DSPs, 8-bit)\n");
+    let mut t = Table::new(vec![
+        "component",
+        "LUTs",
+        "FFs",
+        "BRAMs",
+        "DSPs",
+        "LUT %",
+        "FF %",
+        "BRAM %",
+        "DSP %",
+    ]);
+    let mut push = |name: &str, r: Resources| {
+        let o = r.overhead_percent(&base);
+        t.row(vec![
+            name.to_string(),
+            f(r.luts, 0),
+            f(r.ffs, 0),
+            f(r.brams, 0),
+            f(r.dsps, 0),
+            f(o.luts, 1),
+            f(o.ffs, 1),
+            f(o.brams, 1),
+            f(o.dsps, 1),
+        ]);
+    };
+    push("AES-128 core (×1)", Resources::aes_core());
+    push("MicroBlaze + 256KB", Resources::microblaze());
+    push("GuardNN total (3 AES)", guardnn_addition(3));
+    push("GuardNN total (4 AES)", guardnn_addition(4));
+    t.print();
+    println!("\nPaper reference: AES 9.0K LUTs (8.2%) / 3.0K FFs (2.6%); MicroBlaze 2.7K LUTs (2.5%), 2.2K FFs (1.9%), 64 BRAMs (11.0%), 6 DSPs (0.9%).");
+}

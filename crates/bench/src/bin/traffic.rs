@@ -1,0 +1,59 @@
+//! Regenerates the §III-C **memory-traffic increase** numbers: BP adds
+//! 35.3% (inference) / 37.8% (training) while GuardNN_CI adds 2.4% / 2.3%.
+//!
+//! Run with `cargo run --release -p guardnn-bench --bin traffic`.
+
+use guardnn::perf::{evaluate, EvalConfig, Mode, Scheme};
+use guardnn_bench::json::run_summary_json;
+use guardnn_bench::{f, Table};
+use guardnn_models::{zoo, Network};
+
+fn run_suite(title: &str, nets: &[Network], mode: Mode, json: bool) -> (f64, f64) {
+    println!("\nMemory-traffic increase — {title} (% over data traffic)\n");
+    let cfg = EvalConfig::default();
+    let mut table = Table::new(vec!["network", "GuardNN_CI %", "BP %"]);
+    let (mut sum_gci, mut sum_bp) = (0.0, 0.0);
+    for net in nets {
+        let gci_run = evaluate(net, mode, Scheme::GuardNnCi, &cfg);
+        let bp_run = evaluate(net, mode, Scheme::Baseline, &cfg);
+        if json {
+            println!("{}", run_summary_json(net.name(), title, &gci_run).render());
+            println!("{}", run_summary_json(net.name(), title, &bp_run).render());
+        }
+        let gci = gci_run.traffic_increase() * 100.0;
+        let bp = bp_run.traffic_increase() * 100.0;
+        sum_gci += gci;
+        sum_bp += bp;
+        table.row(vec![net.name().to_string(), f(gci, 2), f(bp, 2)]);
+        eprintln!("  done: {}", net.name());
+    }
+    let n = nets.len() as f64;
+    table.row(vec![
+        "average".to_string(),
+        f(sum_gci / n, 2),
+        f(sum_bp / n, 2),
+    ]);
+    table.print();
+    (sum_gci / n, sum_bp / n)
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let (gci_inf, bp_inf) = run_suite(
+        "inference",
+        &zoo::figure3_inference_suite(),
+        Mode::Inference,
+        json,
+    );
+    let (gci_tr, bp_tr) = run_suite(
+        "training",
+        &zoo::figure3_training_suite(),
+        Mode::Training { batch: 4 },
+        json,
+    );
+    println!("\nPaper reference: BP +35.3% (inference) / +37.8% (training);");
+    println!("                 GuardNN_CI +2.4% (inference) / +2.3% (training).");
+    println!(
+        "\nMeasured:        BP +{bp_inf:.1}% / +{bp_tr:.1}%; GuardNN_CI +{gci_inf:.1}% / +{gci_tr:.1}%."
+    );
+}

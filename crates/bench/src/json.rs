@@ -1,0 +1,198 @@
+//! Minimal JSON emission for machine-readable reports.
+//!
+//! The offline dependency set has no `serde_json`, so this module provides
+//! the small subset the report binaries need: objects, arrays, strings,
+//! and numbers, with correct escaping. Output is deterministic (insertion
+//! order preserved).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// A float (emitted with enough precision to round-trip).
+    Num(f64),
+    /// An integer.
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Creates an empty object.
+    pub fn obj() -> Self {
+        Json::Obj(Vec::new())
+    }
+
+    /// Adds a field to an object (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is not an object.
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Self {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
+            other => panic!("field() on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Serializes to a JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Num(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Int(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::Int(v as i64)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Self {
+        Json::Arr(v)
+    }
+}
+
+/// Builds a JSON record from a protected-run summary — the shared shape
+/// the report binaries emit with `--json`.
+pub fn run_summary_json(
+    network: &str,
+    mode: &str,
+    summary: &guardnn_memprot::harness::RunSummary,
+) -> Json {
+    Json::obj()
+        .field("network", network)
+        .field("mode", mode)
+        .field("scheme", summary.scheme)
+        .field("data_bytes", summary.data_bytes)
+        .field("meta_bytes", summary.meta_bytes)
+        .field("traffic_increase", summary.traffic_increase())
+        .field("exec_ns", summary.exec_ns)
+        .field("dram_row_hit_rate", summary.dram.row_hit_rate())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structure() {
+        let j = Json::obj()
+            .field("name", "vgg")
+            .field("n", 3u64)
+            .field("ratio", 1.25)
+            .field("ok", true)
+            .field("tags", Json::Arr(vec!["a".into(), "b".into()]));
+        assert_eq!(
+            j.render(),
+            r#"{"name":"vgg","n":3,"ratio":1.25,"ok":true,"tags":["a","b"]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let j = Json::Str("a\"b\\c\nd\u{1}".to_string());
+        assert_eq!(j.render(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    #[should_panic(expected = "field() on non-object")]
+    fn field_on_array_panics() {
+        let _ = Json::Arr(vec![]).field("x", 1i64);
+    }
+}

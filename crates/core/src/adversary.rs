@@ -1,0 +1,188 @@
+//! Physical-adversary drivers: DRAM tampering and replay.
+//!
+//! The threat model (§II-A) gives the adversary full control over off-chip
+//! memory. These helpers mount the canonical attacks against a live device
+//! session; the security test-suite asserts GuardNN's guarantees — with
+//! integrity enabled the attacks are *detected*, and without it they can
+//! only garble, never disclose.
+
+use crate::device::GuardNnDevice;
+use crate::error::GuardNnError;
+
+/// Flips one ciphertext bit in the device's DRAM at `addr`.
+///
+/// # Errors
+///
+/// Propagates device state errors (no session / no model).
+pub fn tamper_bit(device: &mut GuardNnDevice, addr: u64) -> Result<(), GuardNnError> {
+    device.physical_dram_mut()?.tamper(addr, 0x01);
+    Ok(())
+}
+
+/// Snapshot of one DRAM chunk (ciphertext + MAC), for replay.
+pub struct ChunkSnapshot {
+    addr: u64,
+    data: (Vec<u8>, Option<[u8; 16]>),
+}
+
+/// Records chunk `addr` (512-byte aligned region) for a later replay.
+///
+/// # Errors
+///
+/// Propagates device state errors.
+pub fn snapshot_chunk(
+    device: &mut GuardNnDevice,
+    addr: u64,
+) -> Result<ChunkSnapshot, GuardNnError> {
+    let mem = device.physical_dram_mut()?;
+    Ok(ChunkSnapshot {
+        addr,
+        data: mem.snapshot_chunk(addr),
+    })
+}
+
+/// Replays a previously captured chunk (stale ciphertext + its matching
+/// stale MAC) into DRAM.
+///
+/// # Errors
+///
+/// Propagates device state errors.
+pub fn replay_chunk(
+    device: &mut GuardNnDevice,
+    snapshot: ChunkSnapshot,
+) -> Result<(), GuardNnError> {
+    device
+        .physical_dram_mut()?
+        .replay_chunk(snapshot.addr, snapshot.data);
+    Ok(())
+}
+
+/// Reads raw DRAM — what a bus probe sees. Used by tests to assert that
+/// plaintext never appears off chip.
+///
+/// # Errors
+///
+/// Propagates device state errors.
+pub fn probe_dram(
+    device: &mut GuardNnDevice,
+    addr: u64,
+    len: usize,
+) -> Result<Vec<u8>, GuardNnError> {
+    Ok(device.physical_dram_mut()?.raw(addr, len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::UntrustedHost;
+    use crate::isa::{Instruction, Response};
+    use crate::session::RemoteUser;
+    use crate::testnet;
+
+    /// Sets up a device mid-session with weights + input loaded.
+    fn loaded_device(integrity: bool) -> (GuardNnDevice, RemoteUser, UntrustedHost) {
+        let (mut device, maker_pk) = GuardNnDevice::provision(5, 77);
+        let mut user = RemoteUser::new(maker_pk, 3);
+        let net = testnet::tiny_mlp();
+        let weights = testnet::tiny_mlp_weights(1);
+        let input = vec![9, 8, 7, 6, 5, 4, 3, 2];
+        let mut host = UntrustedHost::new();
+        host.run_inference(&mut device, &mut user, &net, &weights, &input, integrity)
+            .expect("inference");
+        (device, user, host)
+    }
+
+    #[test]
+    fn probe_sees_no_plaintext_weights() {
+        let (mut device, ..) = loaded_device(false);
+        let weights = testnet::tiny_mlp_weights(1);
+        let mut wb = Vec::new();
+        for v in &weights[0] {
+            wb.extend_from_slice(&v.to_le_bytes());
+        }
+        // Probe the whole first MB of DRAM.
+        let raw = probe_dram(&mut device, 0, 1 << 20).expect("probe");
+        assert!(
+            !raw.windows(wb.len().min(16))
+                .any(|w| wb.windows(w.len()).any(|s| s == w)),
+            "weight bytes visible in DRAM"
+        );
+    }
+
+    #[test]
+    fn tamper_detected_with_integrity() {
+        let (mut device, user, host) = loaded_device(true);
+        let net = testnet::tiny_mlp();
+        // Corrupt the input-edge features, then ask for another Forward.
+        let feat0 = device.feature_region(0).expect("region");
+        tamper_bit(&mut device, feat0).expect("tamper");
+        host.set_read_ctr_for_edge(&mut device, &net, 0, 1 << 32)
+            .expect("ctr");
+        let err = device
+            .execute(Instruction::Forward { layer: 0 })
+            .unwrap_err();
+        assert!(
+            matches!(err, GuardNnError::IntegrityViolation { .. }),
+            "got {err:?}"
+        );
+        let _ = user;
+    }
+
+    #[test]
+    fn tamper_undetected_without_integrity_but_garbles() {
+        let (mut device, mut user, host) = loaded_device(false);
+        let net = testnet::tiny_mlp();
+        let weights = testnet::tiny_mlp_weights(1);
+        let input = vec![9, 8, 7, 6, 5, 4, 3, 2];
+        let reference = testnet::tiny_mlp_reference(&weights, &input);
+
+        let feat0 = device.feature_region(0).expect("region");
+        tamper_bit(&mut device, feat0).expect("tamper");
+        host.set_read_ctr_for_edge(&mut device, &net, 0, 1 << 32)
+            .expect("ctr");
+        device
+            .execute(Instruction::Forward { layer: 0 })
+            .expect("fwd");
+        host.set_read_ctr_for_edge(&mut device, &net, 1, (1 << 32) | 2)
+            .expect("ctr");
+        device
+            .execute(Instruction::Forward { layer: 1 })
+            .expect("fwd");
+        host.set_read_ctr_for_edge(&mut device, &net, 2, (1 << 32) | 3)
+            .expect("ctr");
+        let Response::Output { message } =
+            device.execute(Instruction::ExportOutput).expect("export")
+        else {
+            panic!()
+        };
+        let out = user.decrypt_tensor(&message).expect("decrypt");
+        assert_ne!(out, reference, "tampering must corrupt the computation");
+    }
+
+    #[test]
+    fn replay_detected_with_integrity() {
+        let (mut device, _user, host) = loaded_device(true);
+        let net = testnet::tiny_mlp();
+        // Snapshot the hidden-layer features written by Forward{0}
+        // (VN (1<<32)|1), then have the device overwrite them by re-running
+        // Forward{0} under a later VN, then replay the stale chunk.
+        let feat1 = device.feature_region(1).expect("region");
+        let snap = snapshot_chunk(&mut device, feat1).expect("snapshot");
+        host.set_read_ctr_for_edge(&mut device, &net, 0, 1 << 32)
+            .expect("ctr");
+        device
+            .execute(Instruction::Forward { layer: 0 })
+            .expect("fwd again");
+        replay_chunk(&mut device, snap).expect("replay");
+        // Honest read of edge 1 with the *current* VN must now fail.
+        host.set_read_ctr_for_edge(&mut device, &net, 1, (1 << 32) | 3)
+            .expect("ctr");
+        let err = device
+            .execute(Instruction::Forward { layer: 1 })
+            .unwrap_err();
+        assert!(
+            matches!(err, GuardNnError::IntegrityViolation { .. }),
+            "got {err:?}"
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Remote attestation: hash chain over instructions and data.
+//!
+//! The device keeps running SHA-256 hashes of (a) the imported input,
+//! (b) the imported weights, (c) the exported output, and (d) the sequence
+//! of executed instructions with their operands — "similar to how remote
+//! attestation maintains the hash for software state" (§II-C). `SignOutput`
+//! signs all four with SK_Accel; the user recomputes the expected values
+//! from the public instruction log plus their own plaintext tensors and
+//! verifies the signature.
+
+use guardnn_crypto::sha256::Sha256;
+
+/// The running attestation state inside the device (also reconstructed by
+/// the verifying user).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AttestationState {
+    chain: [u8; 32],
+    input_hash: [u8; 32],
+    weight_hash: [u8; 32],
+    output_hash: [u8; 32],
+}
+
+impl AttestationState {
+    /// Fresh state, as set by `InitSession`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Extends the instruction chain:
+    /// `chain ← SHA-256(chain ‖ mnemonic ‖ operands)`.
+    pub fn record_instruction(&mut self, mnemonic: &str, operands: &[u8]) {
+        let mut h = Sha256::new();
+        h.update(&self.chain);
+        h.update(mnemonic.as_bytes());
+        h.update(&(operands.len() as u64).to_be_bytes());
+        h.update(operands);
+        self.chain = h.finalize();
+    }
+
+    /// Folds an imported input into the input hash.
+    pub fn record_input(&mut self, plaintext: &[u8]) {
+        self.input_hash = chain_hash(&self.input_hash, plaintext);
+    }
+
+    /// Folds imported weights into the weight hash.
+    pub fn record_weights(&mut self, plaintext: &[u8]) {
+        self.weight_hash = chain_hash(&self.weight_hash, plaintext);
+    }
+
+    /// Folds an exported output into the output hash.
+    pub fn record_output(&mut self, plaintext: &[u8]) {
+        self.output_hash = chain_hash(&self.output_hash, plaintext);
+    }
+
+    /// Produces the report for `SignOutput`.
+    pub fn report(&self, device_id: u64) -> AttestationReport {
+        AttestationReport {
+            device_id,
+            chain: self.chain,
+            input_hash: self.input_hash,
+            weight_hash: self.weight_hash,
+            output_hash: self.output_hash,
+        }
+    }
+}
+
+fn chain_hash(prev: &[u8; 32], data: &[u8]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(prev);
+    h.update(&(data.len() as u64).to_be_bytes());
+    h.update(data);
+    h.finalize()
+}
+
+/// The attestation report signed by `SignOutput`. Contains hashes only —
+/// safe to expose to the untrusted host.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttestationReport {
+    /// Device serial (matches the certificate).
+    pub device_id: u64,
+    /// Hash chain of executed instructions + operands.
+    pub chain: [u8; 32],
+    /// Hash of imported inputs.
+    pub input_hash: [u8; 32],
+    /// Hash of imported weights.
+    pub weight_hash: [u8; 32],
+    /// Hash of exported outputs.
+    pub output_hash: [u8; 32],
+}
+
+impl AttestationReport {
+    /// The digest that is actually signed.
+    pub fn digest(&self) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(b"guardnn-attestation-v1");
+        h.update(&self.device_id.to_be_bytes());
+        h.update(&self.chain);
+        h.update(&self.input_hash);
+        h.update(&self.weight_hash);
+        h.update(&self.output_hash);
+        h.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_depends_on_order() {
+        let mut a = AttestationState::new();
+        a.record_instruction("FORWARD", &[0]);
+        a.record_instruction("FORWARD", &[1]);
+        let mut b = AttestationState::new();
+        b.record_instruction("FORWARD", &[1]);
+        b.record_instruction("FORWARD", &[0]);
+        assert_ne!(a.report(1).chain, b.report(1).chain);
+    }
+
+    #[test]
+    fn chain_depends_on_operands() {
+        let mut a = AttestationState::new();
+        a.record_instruction("SETREADCTR", &7u64.to_be_bytes());
+        let mut b = AttestationState::new();
+        b.record_instruction("SETREADCTR", &8u64.to_be_bytes());
+        assert_ne!(a.report(1).chain, b.report(1).chain);
+    }
+
+    #[test]
+    fn data_hashes_independent() {
+        let mut s = AttestationState::new();
+        s.record_input(b"input");
+        let r1 = s.report(1);
+        s.record_weights(b"weights");
+        let r2 = s.report(1);
+        assert_eq!(r1.input_hash, r2.input_hash);
+        assert_ne!(r1.weight_hash, r2.weight_hash);
+    }
+
+    #[test]
+    fn report_digest_binds_every_field() {
+        let mut s = AttestationState::new();
+        s.record_input(b"x");
+        let base = s.report(1);
+        assert_ne!(base.digest(), s.report(2).digest(), "device id bound");
+        let mut s2 = s.clone();
+        s2.record_output(b"y");
+        assert_ne!(base.digest(), s2.report(1).digest(), "output hash bound");
+    }
+
+    #[test]
+    fn user_can_reproduce_state() {
+        // The verifying user replays the same public log and gets the same
+        // report — the basis of attestation verification.
+        let build = || {
+            let mut s = AttestationState::new();
+            s.record_weights(b"w0");
+            s.record_input(b"img");
+            s.record_instruction("FORWARD", &0u64.to_be_bytes());
+            s.record_instruction("EXPORTOUTPUT", &[]);
+            s.record_output(b"logits");
+            s.report(42)
+        };
+        assert_eq!(build(), build());
+    }
+}

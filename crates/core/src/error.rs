@@ -1,0 +1,98 @@
+//! Error type for GuardNN device and protocol operations.
+
+use std::fmt;
+
+/// Errors surfaced by the GuardNN device, the remote-user protocol, or the
+/// host scheduler.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GuardNnError {
+    /// An instruction needed an active session (`InitSession` first).
+    NoSession,
+    /// A session-channel message failed authentication or was malformed.
+    ChannelAuth,
+    /// Off-chip integrity verification failed (tamper or replay detected).
+    IntegrityViolation {
+        /// Address of the failing chunk.
+        chunk_addr: u64,
+    },
+    /// The device certificate did not verify against the manufacturer key.
+    BadCertificate,
+    /// A signed attestation report failed verification.
+    BadAttestation,
+    /// The instruction referenced a layer outside the configured model.
+    BadLayerIndex {
+        /// The offending index.
+        layer: usize,
+    },
+    /// Instruction is invalid in the current device state (e.g. `Forward`
+    /// before weights are loaded).
+    InvalidState(&'static str),
+    /// Operand sizes did not match the configured model.
+    ShapeMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was received.
+        actual: usize,
+    },
+    /// The received DH public value failed validation.
+    BadPublicKey,
+}
+
+impl fmt::Display for GuardNnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoSession => write!(f, "no active session"),
+            Self::ChannelAuth => write!(f, "secure-channel authentication failed"),
+            Self::IntegrityViolation { chunk_addr } => {
+                write!(f, "memory integrity violation at chunk {chunk_addr:#x}")
+            }
+            Self::BadCertificate => write!(f, "device certificate verification failed"),
+            Self::BadAttestation => write!(f, "attestation report verification failed"),
+            Self::BadLayerIndex { layer } => write!(f, "layer index {layer} out of range"),
+            Self::InvalidState(what) => write!(f, "invalid device state: {what}"),
+            Self::ShapeMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "operand shape mismatch: expected {expected} elements, got {actual}"
+                )
+            }
+            Self::BadPublicKey => write!(f, "invalid public key"),
+        }
+    }
+}
+
+impl std::error::Error for GuardNnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let cases: Vec<GuardNnError> = vec![
+            GuardNnError::NoSession,
+            GuardNnError::ChannelAuth,
+            GuardNnError::IntegrityViolation { chunk_addr: 0x200 },
+            GuardNnError::BadCertificate,
+            GuardNnError::BadAttestation,
+            GuardNnError::BadLayerIndex { layer: 9 },
+            GuardNnError::InvalidState("weights not loaded"),
+            GuardNnError::ShapeMismatch {
+                expected: 4,
+                actual: 5,
+            },
+            GuardNnError::BadPublicKey,
+        ];
+        for e in cases {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<GuardNnError>();
+    }
+}

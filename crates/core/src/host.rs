@@ -1,0 +1,500 @@
+//! The untrusted host scheduler.
+//!
+//! The host owns the data-flow graph and drives the device with
+//! instructions — but it is *outside* the trust boundary. [`UntrustedHost`]
+//! implements the honest scheduler (including the `CTR_F,R` bookkeeping the
+//! paper offloads to the host), and a set of malicious variants used by the
+//! security tests: wrong read counters, reordered layers, and attempts to
+//! exfiltrate data. None of them can break confidentiality.
+
+use crate::device::GuardNnDevice;
+use crate::error::GuardNnError;
+use crate::isa::{Instruction, Response};
+use crate::memory::ELEM_BYTES;
+use crate::session::RemoteUser;
+use guardnn_models::Network;
+
+/// Mirror of the device's feature counters, maintained by the host from the
+/// public instruction stream ("the host CPU can easily reconstruct the VN",
+/// §II-D).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HostCounterMirror {
+    ctr_in: u32,
+    ctr_fw: u32,
+}
+
+impl HostCounterMirror {
+    /// Mirrors `SetInput`.
+    pub fn on_set_input(&mut self) {
+        self.ctr_in += 1;
+        self.ctr_fw = 0;
+    }
+
+    /// Mirrors a `Forward` that wrote features.
+    pub fn on_forward(&mut self) {
+        self.ctr_fw += 1;
+    }
+
+    /// The VN the device used for its most recent feature write.
+    pub fn current_write_vn(&self) -> u64 {
+        ((self.ctr_in as u64) << 32) | self.ctr_fw as u64
+    }
+
+    /// The VN the device will use for its *next* feature write.
+    pub fn next_write_vn(&self) -> u64 {
+        ((self.ctr_in as u64) << 32) | (self.ctr_fw as u64 + 1)
+    }
+}
+
+/// The untrusted host scheduler.
+#[derive(Clone, Debug, Default)]
+pub struct UntrustedHost {
+    counters: HostCounterMirror,
+}
+
+impl UntrustedHost {
+    /// Creates a host.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The host's counter mirror (exposed for malicious-host tests).
+    pub fn counters(&self) -> HostCounterMirror {
+        self.counters
+    }
+
+    /// Establishes a session: authenticate → key exchange → load model →
+    /// import weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any device or protocol error.
+    pub fn establish(
+        &mut self,
+        device: &mut GuardNnDevice,
+        user: &mut RemoteUser,
+        network: &Network,
+        weights: &[Vec<i32>],
+        integrity: bool,
+    ) -> Result<(), GuardNnError> {
+        let Response::Pk(cert) = device.execute(Instruction::GetPk)? else {
+            return Err(GuardNnError::InvalidState("unexpected response to GetPk"));
+        };
+        user.authenticate_device(&cert)?;
+
+        let user_public = user.begin_session();
+        let Response::SessionInit { device_public } = device.execute(Instruction::InitSession {
+            user_public,
+            enable_integrity: integrity,
+        })?
+        else {
+            return Err(GuardNnError::InvalidState(
+                "unexpected response to InitSession",
+            ));
+        };
+        user.complete_session(&device_public)?;
+        self.counters = HostCounterMirror::default();
+
+        device.execute(Instruction::LoadModel {
+            network: network.clone(),
+        })?;
+        for (layer, w) in weights.iter().enumerate() {
+            if w.is_empty() {
+                continue;
+            }
+            let message = user.encrypt_tensor(w)?;
+            device.execute(Instruction::SetWeight { layer, message })?;
+        }
+        Ok(())
+    }
+
+    /// Runs one inference in an established session: import input →
+    /// per-layer `SetReadCTR` + `Forward` → export. Returns the decrypted
+    /// output (only the *user* can decrypt it; the host merely relays
+    /// ciphertext). Also returns the per-edge feature-write VN log the
+    /// host tracked, which training needs for reading stashed features.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any device or protocol error.
+    pub fn infer(
+        &mut self,
+        device: &mut GuardNnDevice,
+        user: &mut RemoteUser,
+        network: &Network,
+        input: &[i32],
+    ) -> Result<(Vec<i32>, Vec<u64>), GuardNnError> {
+        let message = user.encrypt_tensor(input)?;
+        device.execute(Instruction::SetInput { message })?;
+        self.counters.on_set_input();
+
+        let mut edge_vns = Vec::with_capacity(network.layers().len() + 1);
+        edge_vns.push(self.counters.current_write_vn());
+        for layer in 0..network.layers().len() {
+            self.set_read_ctr_for_edge(device, network, layer, edge_vns[layer])?;
+            device.execute(Instruction::Forward { layer })?;
+            self.counters.on_forward();
+            edge_vns.push(self.counters.current_write_vn());
+        }
+
+        let out_edge = network.layers().len();
+        self.set_read_ctr_for_edge(device, network, out_edge, edge_vns[out_edge])?;
+        let Response::Output { message } = device.execute(Instruction::ExportOutput)? else {
+            return Err(GuardNnError::InvalidState(
+                "unexpected response to ExportOutput",
+            ));
+        };
+        Ok((user.decrypt_tensor(&message)?, edge_vns))
+    }
+
+    /// Runs the full honest protocol for one inference (session + infer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any device or protocol error.
+    pub fn run_inference(
+        &mut self,
+        device: &mut GuardNnDevice,
+        user: &mut RemoteUser,
+        network: &Network,
+        weights: &[Vec<i32>],
+        input: &[i32],
+        integrity: bool,
+    ) -> Result<Vec<i32>, GuardNnError> {
+        self.establish(device, user, network, weights, integrity)?;
+        Ok(self.infer(device, user, network, input)?.0)
+    }
+
+    /// Runs one training step in an established session: forward pass,
+    /// import of the user's loss gradient (`SetOutputGrad`), per-layer
+    /// `Backward`, and `UpdateWeight` — with all the `SetReadCTR`
+    /// bookkeeping the paper offloads to the host. The updated weights
+    /// remain inside the device's protected memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any device or protocol error.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_step(
+        &mut self,
+        device: &mut GuardNnDevice,
+        user: &mut RemoteUser,
+        network: &Network,
+        input: &[i32],
+        output_grad: &[i32],
+        lr_shift: u32,
+    ) -> Result<(), GuardNnError> {
+        // Forward, stashing per-edge feature VNs.
+        let (_, edge_vns) = self.infer(device, user, network, input)?;
+
+        // Loss gradient for the final edge.
+        let message = user.encrypt_tensor(output_grad)?;
+        device.execute(Instruction::SetOutputGrad { message })?;
+        self.counters.on_forward(); // SetOutputGrad bumps CTR_F,W
+        let n = network.layers().len();
+        let mut grad_vns = vec![0u64; n + 1];
+        grad_vns[n] = self.counters.current_write_vn();
+
+        // Backward sweep.
+        for layer in (0..n).rev() {
+            let l = &network.layers()[layer];
+            // The device reads: stashed features of edge `layer`, gradient
+            // of edge `layer + 1`.
+            self.set_read_ctr_for_edge(device, network, layer, edge_vns[layer])?;
+            self.set_read_ctr_for_grad_edge(device, network, layer + 1, grad_vns[layer + 1])?;
+            device.execute(Instruction::Backward { layer })?;
+            self.counters.on_forward(); // Backward bumps CTR_F,W
+            grad_vns[layer] = self.counters.current_write_vn();
+
+            if l.has_weights() {
+                // The weight gradient was written with the same VN as the
+                // input gradient of this layer.
+                let start = device.wgrad_region(layer)?;
+                let bytes = l.weight_elems() * ELEM_BYTES;
+                device.execute(Instruction::SetReadCtr {
+                    start,
+                    end: start + bytes.max(16),
+                    vn: grad_vns[layer],
+                })?;
+                device.execute(Instruction::UpdateWeight { layer, lr_shift })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Issues `SetReadCTR` covering gradient edge `edge`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn set_read_ctr_for_grad_edge(
+        &self,
+        device: &mut GuardNnDevice,
+        network: &Network,
+        edge: usize,
+        vn: u64,
+    ) -> Result<(), GuardNnError> {
+        let start = device.grad_region(edge)?;
+        let bytes = if edge == 0 {
+            network
+                .layers()
+                .first()
+                .map_or(0, |l| l.input_elems() * ELEM_BYTES)
+        } else {
+            network.layers()[edge - 1].output_elems() * ELEM_BYTES
+        };
+        device.execute(Instruction::SetReadCtr {
+            start,
+            end: start + bytes.max(16),
+            vn,
+        })?;
+        Ok(())
+    }
+
+    /// Issues `SetReadCTR` covering feature edge `edge`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn set_read_ctr_for_edge(
+        &self,
+        device: &mut GuardNnDevice,
+        network: &Network,
+        edge: usize,
+        vn: u64,
+    ) -> Result<(), GuardNnError> {
+        let start = device.feature_region(edge)?;
+        let bytes = if edge == 0 {
+            network
+                .layers()
+                .first()
+                .map_or(0, |l| l.input_elems() * ELEM_BYTES)
+        } else {
+            network.layers()[edge - 1].output_elems() * ELEM_BYTES
+        };
+        device.execute(Instruction::SetReadCtr {
+            start,
+            end: start + bytes.max(16),
+            vn,
+        })?;
+        Ok(())
+    }
+
+    /// Requests and verifies the attestation report: the user replays the
+    /// expected instruction log and compares.
+    ///
+    /// # Errors
+    ///
+    /// [`GuardNnError::BadAttestation`] on any mismatch.
+    pub fn attest(
+        &self,
+        device: &mut GuardNnDevice,
+        user: &RemoteUser,
+        expected: &crate::attestation::AttestationReport,
+    ) -> Result<(), GuardNnError> {
+        let Response::Attestation { report, signature } =
+            device.execute(Instruction::SignOutput)?
+        else {
+            return Err(GuardNnError::InvalidState(
+                "unexpected response to SignOutput",
+            ));
+        };
+        user.verify_attestation(&report, &signature, expected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testnet;
+
+    #[test]
+    fn honest_protocol_computes_correctly() {
+        let (mut device, maker_pk) = GuardNnDevice::provision(11, 42);
+        let mut user = RemoteUser::new(maker_pk, 7);
+        let net = testnet::tiny_mlp();
+        let weights = testnet::tiny_mlp_weights(5);
+        let input = vec![3, 1, -4, 1, 5, -9, 2, 6];
+        let mut host = UntrustedHost::new();
+        let out = host
+            .run_inference(&mut device, &mut user, &net, &weights, &input, true)
+            .expect("inference");
+        assert_eq!(out, testnet::tiny_mlp_reference(&weights, &input));
+    }
+
+    #[test]
+    fn cnn_protocol_computes_correctly() {
+        let (mut device, maker_pk) = GuardNnDevice::provision(12, 43);
+        let mut user = RemoteUser::new(maker_pk, 8);
+        let net = testnet::tiny_cnn();
+        let weights = testnet::deterministic_weights(&net, 9);
+        let input: Vec<i32> = (0..16).map(|i| (i % 5) - 2).collect();
+        let mut host = UntrustedHost::new();
+        let out = host
+            .run_inference(&mut device, &mut user, &net, &weights, &input, false)
+            .expect("inference");
+        assert_eq!(out, testnet::reference_forward(&net, &weights, &input));
+    }
+
+    #[test]
+    fn training_step_updates_weights_correctly() {
+        // Train one step on the device, then run inference with the
+        // (device-resident) updated weights; the result must equal an
+        // inference with reference-updated weights.
+        let (mut device, maker_pk) = GuardNnDevice::provision(21, 52);
+        let mut user = RemoteUser::new(maker_pk, 17);
+        let net = testnet::tiny_mlp();
+        let weights = testnet::tiny_mlp_weights(6);
+        let input = vec![2, -3, 5, -7, 11, -13, 17, -19];
+        let d_out = vec![3, -2];
+        let lr_shift = 0;
+
+        let mut host = UntrustedHost::new();
+        host.establish(&mut device, &mut user, &net, &weights, true)
+            .expect("establish");
+        host.train_step(&mut device, &mut user, &net, &input, &d_out, lr_shift)
+            .expect("train");
+
+        // Inference after training, same session, same device weights.
+        let probe_input = vec![1, 1, 1, 1, 1, 1, 1, 1];
+        let (out, _) = host
+            .infer(&mut device, &mut user, &net, &probe_input)
+            .expect("infer");
+
+        let updated = testnet::reference_train_step(&net, &weights, &input, &d_out, lr_shift);
+        assert_eq!(
+            out,
+            testnet::reference_forward(&net, &updated, &probe_input)
+        );
+    }
+
+    #[test]
+    fn training_cnn_with_pool_and_integrity() {
+        let (mut device, maker_pk) = GuardNnDevice::provision(22, 53);
+        let mut user = RemoteUser::new(maker_pk, 18);
+        let net = testnet::tiny_cnn();
+        let weights = testnet::deterministic_weights(&net, 3);
+        let input: Vec<i32> = (0..16).map(|i| (i % 4) - 1).collect();
+        let d_out = vec![1, -1, 2, -2];
+
+        let mut host = UntrustedHost::new();
+        host.establish(&mut device, &mut user, &net, &weights, true)
+            .expect("establish");
+        host.train_step(&mut device, &mut user, &net, &input, &d_out, 1)
+            .expect("train");
+
+        let probe: Vec<i32> = (0..16).map(|i| 2 - (i % 3)).collect();
+        let (out, _) = host
+            .infer(&mut device, &mut user, &net, &probe)
+            .expect("infer");
+        let updated = testnet::reference_train_step(&net, &weights, &input, &d_out, 1);
+        assert_eq!(out, testnet::reference_forward(&net, &updated, &probe));
+    }
+
+    #[test]
+    fn multiple_training_steps_accumulate() {
+        let (mut device, maker_pk) = GuardNnDevice::provision(23, 54);
+        let mut user = RemoteUser::new(maker_pk, 19);
+        let net = testnet::tiny_mlp();
+        let mut ref_weights = testnet::tiny_mlp_weights(2);
+        let mut host = UntrustedHost::new();
+        host.establish(&mut device, &mut user, &net, &ref_weights, false)
+            .expect("establish");
+        for step in 0..3 {
+            let input: Vec<i32> = (0..8).map(|i| i + step).collect();
+            let d_out = vec![step + 1, -(step + 1)];
+            host.train_step(&mut device, &mut user, &net, &input, &d_out, 2)
+                .expect("train");
+            ref_weights = testnet::reference_train_step(&net, &ref_weights, &input, &d_out, 2);
+        }
+        let probe = vec![1, 0, 1, 0, 1, 0, 1, 0];
+        let (out, _) = host
+            .infer(&mut device, &mut user, &net, &probe)
+            .expect("infer");
+        assert_eq!(out, testnet::reference_forward(&net, &ref_weights, &probe));
+    }
+
+    #[test]
+    fn counter_mirror_tracks_device() {
+        let mut m = HostCounterMirror::default();
+        m.on_set_input();
+        assert_eq!(m.current_write_vn(), 1 << 32);
+        m.on_forward();
+        assert_eq!(m.current_write_vn(), (1 << 32) | 1);
+        m.on_set_input();
+        assert_eq!(m.current_write_vn(), 2 << 32);
+    }
+
+    #[test]
+    fn wrong_read_ctr_garbles_but_output_stays_ciphertext() {
+        // A malicious host sets a wrong CTR_F,R: the computation is
+        // garbage, but the exported message is still ciphertext the host
+        // cannot read, and the user simply gets wrong values — no leak.
+        let (mut device, maker_pk) = GuardNnDevice::provision(13, 44);
+        let mut user = RemoteUser::new(maker_pk, 9);
+        let net = testnet::tiny_mlp();
+        let weights = testnet::tiny_mlp_weights(5);
+        let input = vec![1, 2, 3, 4, 5, 6, 7, 8];
+
+        // Honest run first for the reference.
+        let mut honest = UntrustedHost::new();
+        let good = honest
+            .run_inference(&mut device, &mut user, &net, &weights, &input, false)
+            .expect("honest");
+
+        // Malicious run: same protocol but lie about the input edge VN.
+        let (mut device2, maker_pk2) = GuardNnDevice::provision(13, 44);
+        let mut user2 = RemoteUser::new(maker_pk2, 9);
+        let Response::Pk(cert) = device2.execute(Instruction::GetPk).expect("pk") else {
+            panic!()
+        };
+        user2.authenticate_device(&cert).expect("auth");
+        let up = user2.begin_session();
+        let Response::SessionInit { device_public } = device2
+            .execute(Instruction::InitSession {
+                user_public: up,
+                enable_integrity: false,
+            })
+            .expect("init")
+        else {
+            panic!()
+        };
+        user2.complete_session(&device_public).expect("complete");
+        device2
+            .execute(Instruction::LoadModel {
+                network: net.clone(),
+            })
+            .expect("load");
+        for (layer, w) in weights.iter().enumerate() {
+            let message = user2.encrypt_tensor(w).expect("enc");
+            device2
+                .execute(Instruction::SetWeight { layer, message })
+                .expect("setw");
+        }
+        let message = user2.encrypt_tensor(&input).expect("enc");
+        device2
+            .execute(Instruction::SetInput { message })
+            .expect("seti");
+        let host = UntrustedHost::new();
+        // WRONG vn for edge 0.
+        host.set_read_ctr_for_edge(&mut device2, &net, 0, 0xBAD)
+            .expect("readctr");
+        device2
+            .execute(Instruction::Forward { layer: 0 })
+            .expect("fwd0");
+        host.set_read_ctr_for_edge(&mut device2, &net, 1, (1 << 32) | 1)
+            .expect("readctr");
+        device2
+            .execute(Instruction::Forward { layer: 1 })
+            .expect("fwd1");
+        host.set_read_ctr_for_edge(&mut device2, &net, 2, (1 << 32) | 2)
+            .expect("readctr");
+        let Response::Output { message } =
+            device2.execute(Instruction::ExportOutput).expect("export")
+        else {
+            panic!()
+        };
+        let garbled = user2.decrypt_tensor(&message).expect("dec");
+        assert_ne!(garbled, good, "wrong CTR_F,R must garble the result");
+    }
+}

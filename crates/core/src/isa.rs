@@ -1,0 +1,180 @@
+//! The GuardNN instruction set (paper §II-E).
+//!
+//! The instructions extend a base DNN accelerator without changing its
+//! compute instructions. The crucial property, enforced by the device
+//! implementation, is that *no instruction can output confidential data in
+//! plaintext* — whatever sequence the untrusted host issues, responses
+//! carry only public keys, ciphertext under the session key, or signatures
+//! over hashes.
+
+use crate::attestation::AttestationReport;
+use guardnn_crypto::bigint::BigUint;
+use guardnn_crypto::cert::Certificate;
+use guardnn_crypto::schnorr::Signature;
+use guardnn_models::Network;
+
+/// An instruction issued by the (untrusted) host to the device.
+#[derive(Clone, Debug)]
+pub enum Instruction {
+    /// Returns the device public key and its manufacturer certificate.
+    GetPk,
+    /// Runs the key exchange against the user's ephemeral public value,
+    /// clears all device state, and (optionally) enables integrity
+    /// verification and instruction hashing.
+    InitSession {
+        /// The remote user's ephemeral DH public value.
+        user_public: BigUint,
+        /// Enable off-chip integrity verification and attestation hashing.
+        enable_integrity: bool,
+    },
+    /// Declares the (public) model structure so the device can lay out its
+    /// protected DRAM and size each layer's operands.
+    LoadModel {
+        /// The network architecture (public information per threat model).
+        network: Network,
+    },
+    /// Imports session-encrypted weights for one layer and bumps `CTR_W`.
+    SetWeight {
+        /// Target layer.
+        layer: usize,
+        /// Secure-channel message carrying the weight tensor.
+        message: Vec<u8>,
+    },
+    /// Imports a session-encrypted input and bumps `CTR_IN`.
+    SetInput {
+        /// Secure-channel message carrying the input tensor.
+        message: Vec<u8>,
+    },
+    /// Host-supplied read version number for a feature address range
+    /// (untrusted; affects decryption only).
+    SetReadCtr {
+        /// Range start (inclusive).
+        start: u64,
+        /// Range end (exclusive).
+        end: u64,
+        /// The `CTR_F,R` value to use when decrypting reads in the range.
+        vn: u64,
+    },
+    /// Executes one layer: reads features + weights from protected DRAM,
+    /// computes, writes output features, advances `CTR_F,W`.
+    Forward {
+        /// Layer to execute.
+        layer: usize,
+    },
+    /// Re-encrypts the final output under the session key and returns it.
+    ExportOutput,
+    /// Signs the attestation hashes (input, weights, output, instruction
+    /// chain) with the device private key.
+    SignOutput,
+    /// Training: imports the session-encrypted loss gradient for the final
+    /// output edge (the start of Figure 2b's backward flow).
+    SetOutputGrad {
+        /// Secure-channel message carrying the output-gradient tensor.
+        message: Vec<u8>,
+    },
+    /// Training: back-propagates through one layer — reads the stashed
+    /// forward features, the weights, and the output-side gradient;
+    /// writes the input-side gradient and the weight gradient.
+    Backward {
+        /// Layer to back-propagate through.
+        layer: usize,
+    },
+    /// Training: integer SGD step `W ← W − dW / 2^lr_shift`, bumping
+    /// `CTR_W` (`w*` in Figure 2b).
+    UpdateWeight {
+        /// Layer whose weights to update.
+        layer: usize,
+        /// Learning-rate shift (divide the gradient by `2^lr_shift`).
+        lr_shift: u32,
+    },
+}
+
+impl Instruction {
+    /// Stable mnemonic used in the attestation hash chain.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Self::GetPk => "GETPK",
+            Self::InitSession { .. } => "INITSESSION",
+            Self::LoadModel { .. } => "LOADMODEL",
+            Self::SetWeight { .. } => "SETWEIGHT",
+            Self::SetInput { .. } => "SETINPUT",
+            Self::SetReadCtr { .. } => "SETREADCTR",
+            Self::Forward { .. } => "FORWARD",
+            Self::ExportOutput => "EXPORTOUTPUT",
+            Self::SignOutput => "SIGNOUTPUT",
+            Self::SetOutputGrad { .. } => "SETOUTPUTGRAD",
+            Self::Backward { .. } => "BACKWARD",
+            Self::UpdateWeight { .. } => "UPDATEWEIGHT",
+        }
+    }
+
+    /// Whether this instruction is recorded in the attestation chain.
+    /// (`GetPk` is a pure query; `InitSession` resets the chain.)
+    pub fn attested(&self) -> bool {
+        !matches!(self, Self::GetPk | Self::InitSession { .. })
+    }
+}
+
+/// A device response. By construction none of the variants can carry
+/// confidential plaintext.
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// Device public key + certificate.
+    Pk(Certificate),
+    /// Key-exchange reply: the device's ephemeral DH public value.
+    SessionInit {
+        /// Device's ephemeral public value.
+        device_public: BigUint,
+    },
+    /// Instruction completed with nothing to return.
+    Ack,
+    /// Session-encrypted output tensor.
+    Output {
+        /// Secure-channel message carrying the output.
+        message: Vec<u8>,
+    },
+    /// Signed attestation report.
+    Attestation {
+        /// The report (hashes only — no confidential content).
+        report: AttestationReport,
+        /// Device signature over the report digest.
+        signature: Signature,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_unique() {
+        let instrs = [
+            Instruction::GetPk,
+            Instruction::SetReadCtr {
+                start: 0,
+                end: 1,
+                vn: 0,
+            },
+            Instruction::Forward { layer: 0 },
+            Instruction::ExportOutput,
+            Instruction::SignOutput,
+        ];
+        let mut names: Vec<&str> = instrs.iter().map(|i| i.mnemonic()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), instrs.len());
+    }
+
+    #[test]
+    fn attestation_coverage() {
+        assert!(!Instruction::GetPk.attested());
+        assert!(Instruction::Forward { layer: 0 }.attested());
+        assert!(Instruction::ExportOutput.attested());
+        assert!(Instruction::SetReadCtr {
+            start: 0,
+            end: 1,
+            vn: 3
+        }
+        .attested());
+    }
+}

@@ -1,0 +1,66 @@
+//! GuardNN: a secure DNN accelerator architecture model.
+//!
+//! This crate is the paper's primary contribution assembled from the
+//! substrate crates: a functional model of the GuardNN device — a DNN
+//! accelerator that keeps every confidential tensor encrypted outside its
+//! trust boundary — together with the remote-user protocol, the untrusted
+//! host scheduler, adversary models, and the performance-evaluation glue.
+//!
+//! * [`isa`] — the GuardNN instruction set (`GetPK`, `InitSession`,
+//!   `SetWeight`, `SetInput`, `Forward`, `SetReadCTR`, `ExportOutput`,
+//!   `SignOutput`).
+//! * [`device`] — the trusted accelerator: private key + certificate,
+//!   session state, on-chip version counters, protected DRAM, and a real
+//!   (functional) integer DNN execution engine.
+//! * [`session`] — the remote user: device authentication, key exchange,
+//!   tensor encryption, output decryption, attestation verification.
+//! * [`attestation`] — instruction/operand hash chain and signed reports.
+//! * [`nn`] — integer tensor kernels (conv / GEMM / pooling / embedding)
+//!   used for functional execution.
+//! * [`memory`] — the device's DRAM layout on top of
+//!   [`guardnn_memprot::functional::ProtectedMemory`].
+//! * [`host`] — the untrusted host scheduler (correct and malicious).
+//! * [`adversary`] — physical-attack drivers (tamper, replay) used by the
+//!   security test suite.
+//! * [`perf`] — one-call performance evaluation used by the benchmark
+//!   harness (network × {NP, BP, GuardNN_C, GuardNN_CI} → cycles/traffic).
+//!
+//! # Example: end-to-end private inference
+//!
+//! ```
+//! use guardnn::device::GuardNnDevice;
+//! use guardnn::host::UntrustedHost;
+//! use guardnn::session::RemoteUser;
+//! use guardnn::testnet;
+//!
+//! # fn main() -> Result<(), guardnn::GuardNnError> {
+//! let (mut device, manufacturer_pk) = GuardNnDevice::provision(7, 1);
+//! let mut user = RemoteUser::new(manufacturer_pk, 99);
+//!
+//! let net = testnet::tiny_mlp();
+//! let weights = testnet::tiny_mlp_weights(3);
+//! let input = vec![1, -2, 3, 4, -5, 6, 7, -8];
+//!
+//! let mut host = UntrustedHost::new();
+//! let output = host.run_inference(&mut device, &mut user, &net, &weights, &input, true)?;
+//! assert_eq!(output, testnet::tiny_mlp_reference(&weights, &input));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod adversary;
+pub mod attestation;
+pub mod device;
+pub mod error;
+pub mod host;
+pub mod isa;
+pub mod memory;
+pub mod nn;
+pub mod perf;
+pub mod session;
+pub mod testnet;
+
+pub use device::GuardNnDevice;
+pub use error::GuardNnError;
+pub use isa::{Instruction, Response};
+pub use session::RemoteUser;

@@ -1,0 +1,183 @@
+//! One-call performance evaluation: network × protection scheme → run
+//! summary.
+//!
+//! This is the glue the benchmark harness uses to regenerate Figure 3 and
+//! the §III-C traffic numbers: build the execution plan, generate the
+//! address trace on the TPU-v1-class array, run it through the chosen
+//! protection engine, and time the result on the DDR4 model.
+
+use guardnn_dram::DramConfig;
+use guardnn_memprot::baseline::{BaselineMee, MeeConfig};
+use guardnn_memprot::guardnn::GuardNnEngine;
+use guardnn_memprot::harness::{run_protected, RunSummary};
+use guardnn_memprot::none::NoProtection;
+use guardnn_memprot::ProtectionEngine;
+use guardnn_models::graph::ExecutionPlan;
+use guardnn_models::Network;
+use guardnn_systolic::{ArrayConfig, TraceBuilder};
+
+/// The four protection schemes of the paper's ASIC evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// No protection.
+    NoProtection,
+    /// Today's baseline (Intel-MEE-style).
+    Baseline,
+    /// GuardNN, confidentiality only.
+    GuardNnC,
+    /// GuardNN, confidentiality + integrity.
+    GuardNnCi,
+}
+
+impl Scheme {
+    /// All four schemes in the paper's plotting order.
+    pub fn all() -> [Scheme; 4] {
+        [
+            Scheme::NoProtection,
+            Scheme::GuardNnC,
+            Scheme::GuardNnCi,
+            Scheme::Baseline,
+        ]
+    }
+
+    /// Display label matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::NoProtection => "NP",
+            Scheme::Baseline => "BP",
+            Scheme::GuardNnC => "GuardNN_C",
+            Scheme::GuardNnCi => "GuardNN_CI",
+        }
+    }
+}
+
+/// Workload mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Single-input inference (int8).
+    Inference,
+    /// One training step with the given mini-batch (bf16).
+    Training {
+        /// Mini-batch size.
+        batch: usize,
+    },
+}
+
+/// Evaluation configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalConfig {
+    /// Accelerator array (defaults to TPU-v1-like).
+    pub array: ArrayConfig,
+    /// DRAM system (defaults to 16 GB DDR4-2400).
+    pub dram: DramConfig,
+    /// Baseline-protection parameters.
+    pub mee: MeeConfig,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self {
+            array: ArrayConfig::tpu_v1(),
+            dram: DramConfig::ddr4_2400_16gb(),
+            mee: MeeConfig::default(),
+        }
+    }
+}
+
+/// Builds the execution plan for `network` under `mode`.
+pub fn plan_for(network: &Network, mode: Mode) -> ExecutionPlan {
+    match mode {
+        Mode::Inference => ExecutionPlan::inference(network),
+        Mode::Training { batch } => ExecutionPlan::training(network, batch),
+    }
+}
+
+/// Evaluates one network under one scheme.
+pub fn evaluate(network: &Network, mode: Mode, scheme: Scheme, cfg: &EvalConfig) -> RunSummary {
+    let mut array = cfg.array;
+    array.bytes_per_elem = match mode {
+        Mode::Inference => 1,
+        Mode::Training { .. } => 2,
+    };
+    let plan = plan_for(network, mode);
+    let tb = TraceBuilder::new(array, &plan);
+    let trace = tb.build(&plan);
+    let footprint = tb.footprint();
+    let mut engine: Box<dyn ProtectionEngine> = match scheme {
+        Scheme::NoProtection => Box::new(NoProtection::new()),
+        Scheme::Baseline => Box::new(BaselineMee::new(footprint, cfg.mee)),
+        Scheme::GuardNnC => Box::new(GuardNnEngine::confidentiality_only(footprint)),
+        Scheme::GuardNnCi => Box::new(GuardNnEngine::confidentiality_and_integrity(footprint)),
+    };
+    run_protected(&trace, engine.as_mut(), cfg.dram, array.clock_mhz)
+}
+
+/// Evaluates all four schemes; returns summaries in [`Scheme::all`] order.
+pub fn evaluate_all(network: &Network, mode: Mode, cfg: &EvalConfig) -> Vec<(Scheme, RunSummary)> {
+    Scheme::all()
+        .into_iter()
+        .map(|s| (s, evaluate(network, mode, s, cfg)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guardnn_models::layer::{conv, fc};
+    use guardnn_models::Network;
+
+    fn small_net() -> Network {
+        Network::new(
+            "perf-test",
+            vec![
+                conv("c1", 16, 4, 8, 3, 1, 1),
+                conv("c2", 16, 8, 8, 3, 1, 1),
+                fc("f1", 1, 8 * 16 * 16, 64),
+            ],
+        )
+    }
+
+    #[test]
+    fn scheme_ordering_holds_for_inference() {
+        let cfg = EvalConfig::default();
+        let results = evaluate_all(&small_net(), Mode::Inference, &cfg);
+        let by_scheme = |s: Scheme| {
+            results
+                .iter()
+                .find(|(sc, _)| *sc == s)
+                .map(|(_, r)| r)
+                .expect("present")
+        };
+        let np = by_scheme(Scheme::NoProtection);
+        let gc = by_scheme(Scheme::GuardNnC);
+        let gci = by_scheme(Scheme::GuardNnCi);
+        let bp = by_scheme(Scheme::Baseline);
+        assert_eq!(np.meta_bytes, 0);
+        assert_eq!(gc.meta_bytes, 0);
+        assert!(gci.meta_bytes > 0);
+        assert!(bp.meta_bytes > gci.meta_bytes);
+        assert!(bp.exec_ns >= gci.exec_ns);
+        assert!(gci.exec_ns >= np.exec_ns - 1e-9);
+    }
+
+    #[test]
+    fn training_moves_more_data() {
+        let cfg = EvalConfig::default();
+        let inf = evaluate(&small_net(), Mode::Inference, Scheme::NoProtection, &cfg);
+        let tr = evaluate(
+            &small_net(),
+            Mode::Training { batch: 2 },
+            Scheme::NoProtection,
+            &cfg,
+        );
+        assert!(tr.data_bytes > 2 * inf.data_bytes);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Scheme::Baseline.label(), "BP");
+        assert_eq!(Scheme::GuardNnC.label(), "GuardNN_C");
+        assert_eq!(Scheme::GuardNnCi.label(), "GuardNN_CI");
+        assert_eq!(Scheme::NoProtection.label(), "NP");
+    }
+}

@@ -1,0 +1,416 @@
+//! Session key exchange, the secure channel, and the remote user.
+//!
+//! `InitSession` runs an ephemeral key exchange between the remote user and
+//! the accelerator (paper: ECDHE-ECDSA on the MicroBlaze; here: prime-field
+//! DH + Schnorr — see DESIGN.md §4). Both sides derive a channel key pair
+//! and exchange tensors through an encrypt-then-MAC channel with sequence
+//! numbers, so the untrusted host relaying the messages can neither read
+//! nor undetectably modify or replay them.
+
+use crate::attestation::AttestationReport;
+use crate::error::GuardNnError;
+use guardnn_crypto::bigint::BigUint;
+use guardnn_crypto::cert::Certificate;
+use guardnn_crypto::cmac::Cmac;
+use guardnn_crypto::ctr::AesCtr;
+use guardnn_crypto::dh::{DhGroup, DhKeyPair};
+use guardnn_crypto::rng::TrngModel;
+use guardnn_crypto::schnorr::{Signature, VerifyingKey};
+
+/// Which end of the channel this instance is (fixes nonce domains so the
+/// two directions never share a counter block).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChannelEnd {
+    /// The remote user.
+    User,
+    /// The accelerator.
+    Device,
+}
+
+/// An authenticated-encryption channel bound to one session key.
+#[derive(Clone, Debug)]
+pub struct SecureChannel {
+    enc: AesCtr,
+    mac: Cmac,
+    end: ChannelEnd,
+    send_seq: u64,
+    recv_seq: u64,
+}
+
+impl SecureChannel {
+    /// Builds a channel from the two derived session keys.
+    pub fn new(k_enc: [u8; 16], k_mac: [u8; 16], end: ChannelEnd) -> Self {
+        Self {
+            enc: AesCtr::new(&k_enc),
+            mac: Cmac::new(&k_mac),
+            end,
+            send_seq: 0,
+            recv_seq: 0,
+        }
+    }
+
+    fn direction_bit(end: ChannelEnd) -> u64 {
+        match end {
+            ChannelEnd::User => 0,
+            ChannelEnd::Device => 1 << 63,
+        }
+    }
+
+    /// Encrypt-then-MAC one message. Wire format:
+    /// `seq (8) ‖ tag (16) ‖ ciphertext`.
+    pub fn seal(&mut self, plaintext: &[u8]) -> Vec<u8> {
+        let seq = self.send_seq;
+        self.send_seq += 1;
+        let mut ct = plaintext.to_vec();
+        // Unique counter blocks: (direction ‖ seq) as the version, message
+        // offset as the block address.
+        self.enc
+            .apply_range(0, Self::direction_bit(self.end) | seq, &mut ct);
+        let mut wire = Vec::with_capacity(24 + ct.len());
+        wire.extend_from_slice(&seq.to_be_bytes());
+        let tag = self.tag(self.end, seq, &ct);
+        wire.extend_from_slice(&tag);
+        wire.extend_from_slice(&ct);
+        wire
+    }
+
+    /// Verifies and decrypts a message from the peer, enforcing strictly
+    /// increasing sequence numbers (replay protection).
+    ///
+    /// # Errors
+    ///
+    /// [`GuardNnError::ChannelAuth`] on malformed input, bad tag, or
+    /// replayed sequence number.
+    pub fn open(&mut self, wire: &[u8]) -> Result<Vec<u8>, GuardNnError> {
+        if wire.len() < 24 {
+            return Err(GuardNnError::ChannelAuth);
+        }
+        let seq = u64::from_be_bytes(wire[..8].try_into().expect("8 bytes"));
+        let tag: [u8; 16] = wire[8..24].try_into().expect("16 bytes");
+        let ct = &wire[24..];
+        let peer = match self.end {
+            ChannelEnd::User => ChannelEnd::Device,
+            ChannelEnd::Device => ChannelEnd::User,
+        };
+        if self.tag(peer, seq, ct) != tag || seq < self.recv_seq {
+            return Err(GuardNnError::ChannelAuth);
+        }
+        self.recv_seq = seq + 1;
+        let mut pt = ct.to_vec();
+        self.enc
+            .apply_range(0, Self::direction_bit(peer) | seq, &mut pt);
+        Ok(pt)
+    }
+
+    fn tag(&self, from: ChannelEnd, seq: u64, ct: &[u8]) -> [u8; 16] {
+        let mut msg = Vec::with_capacity(ct.len() + 9);
+        msg.push(match from {
+            ChannelEnd::User => 0,
+            ChannelEnd::Device => 1,
+        });
+        msg.extend_from_slice(&seq.to_be_bytes());
+        msg.extend_from_slice(ct);
+        self.mac.compute(&msg)
+    }
+}
+
+/// Derives the channel keys `(k_enc, k_mac)` from a DH exchange.
+pub fn derive_channel_keys(dh: &DhKeyPair, peer: &BigUint) -> ([u8; 16], [u8; 16]) {
+    (
+        dh.derive_key(peer, b"guardnn k_session enc"),
+        dh.derive_key(peer, b"guardnn k_session mac"),
+    )
+}
+
+/// The remote user: owns the model + input plaintext, authenticates the
+/// device, and talks through the secure channel.
+#[derive(Debug)]
+pub struct RemoteUser {
+    group: DhGroup,
+    rng: TrngModel,
+    manufacturer_pk: VerifyingKey,
+    device_pk: Option<VerifyingKey>,
+    device_id: Option<u64>,
+    dh: Option<DhKeyPair>,
+    channel: Option<SecureChannel>,
+}
+
+impl RemoteUser {
+    /// Creates a user trusting `manufacturer_pk`, with deterministic
+    /// randomness from `seed`.
+    pub fn new(manufacturer_pk: VerifyingKey, seed: u64) -> Self {
+        Self {
+            group: manufacturer_pk.group().clone(),
+            rng: TrngModel::from_seed(seed),
+            manufacturer_pk,
+            device_pk: None,
+            device_id: None,
+            dh: None,
+            channel: None,
+        }
+    }
+
+    /// Verifies a device certificate against the manufacturer key and
+    /// pins the device public key.
+    ///
+    /// # Errors
+    ///
+    /// [`GuardNnError::BadCertificate`] when verification fails.
+    pub fn authenticate_device(&mut self, cert: &Certificate) -> Result<(), GuardNnError> {
+        if !cert.verify(&self.manufacturer_pk) {
+            return Err(GuardNnError::BadCertificate);
+        }
+        self.device_pk = Some(cert.device_key.clone());
+        self.device_id = Some(cert.device_id);
+        Ok(())
+    }
+
+    /// Starts the key exchange; returns the user's ephemeral public value
+    /// for `InitSession`.
+    pub fn begin_session(&mut self) -> BigUint {
+        let dh = DhKeyPair::generate(&self.group, &mut self.rng);
+        let public = dh.public_key().clone();
+        self.dh = Some(dh);
+        public
+    }
+
+    /// Completes the key exchange with the device's ephemeral public value.
+    ///
+    /// # Errors
+    ///
+    /// [`GuardNnError::BadPublicKey`] on an invalid group element;
+    /// [`GuardNnError::InvalidState`] if `begin_session` was not called.
+    pub fn complete_session(&mut self, device_public: &BigUint) -> Result<(), GuardNnError> {
+        let dh = self
+            .dh
+            .as_ref()
+            .ok_or(GuardNnError::InvalidState("begin_session first"))?;
+        if !self.group.validate_public(device_public) {
+            return Err(GuardNnError::BadPublicKey);
+        }
+        let (k_enc, k_mac) = derive_channel_keys(dh, device_public);
+        self.channel = Some(SecureChannel::new(k_enc, k_mac, ChannelEnd::User));
+        Ok(())
+    }
+
+    fn channel_mut(&mut self) -> Result<&mut SecureChannel, GuardNnError> {
+        self.channel.as_mut().ok_or(GuardNnError::NoSession)
+    }
+
+    /// Encrypts an i32 tensor for `SetWeight` / `SetInput`.
+    ///
+    /// # Errors
+    ///
+    /// [`GuardNnError::NoSession`] before the session completes.
+    pub fn encrypt_tensor(&mut self, data: &[i32]) -> Result<Vec<u8>, GuardNnError> {
+        let mut bytes = Vec::with_capacity(data.len() * 4);
+        for v in data {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        Ok(self.channel_mut()?.seal(&bytes))
+    }
+
+    /// Decrypts an `ExportOutput` message back to an i32 tensor.
+    ///
+    /// # Errors
+    ///
+    /// [`GuardNnError::ChannelAuth`] on tamper/replay;
+    /// [`GuardNnError::NoSession`] before the session completes.
+    pub fn decrypt_tensor(&mut self, wire: &[u8]) -> Result<Vec<i32>, GuardNnError> {
+        let bytes = self.channel_mut()?.open(wire)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    /// Verifies a signed attestation report against the pinned device key
+    /// and an independently recomputed expected report.
+    ///
+    /// # Errors
+    ///
+    /// [`GuardNnError::BadAttestation`] when the signature or the expected
+    /// report does not match; [`GuardNnError::InvalidState`] before
+    /// [`RemoteUser::authenticate_device`].
+    pub fn verify_attestation(
+        &self,
+        report: &AttestationReport,
+        signature: &Signature,
+        expected: &AttestationReport,
+    ) -> Result<(), GuardNnError> {
+        let pk = self
+            .device_pk
+            .as_ref()
+            .ok_or(GuardNnError::InvalidState("authenticate first"))?;
+        if report != expected
+            || Some(report.device_id) != self.device_id
+            || !pk.verify(&report.digest(), signature)
+        {
+            return Err(GuardNnError::BadAttestation);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn channel_pair() -> (SecureChannel, SecureChannel) {
+        let group = DhGroup::oakley768();
+        let mut r1 = TrngModel::from_seed(1);
+        let mut r2 = TrngModel::from_seed(2);
+        let a = DhKeyPair::generate(&group, &mut r1);
+        let b = DhKeyPair::generate(&group, &mut r2);
+        let (ka_enc, ka_mac) = derive_channel_keys(&a, b.public_key());
+        let (kb_enc, kb_mac) = derive_channel_keys(&b, a.public_key());
+        assert_eq!(ka_enc, kb_enc);
+        (
+            SecureChannel::new(ka_enc, ka_mac, ChannelEnd::User),
+            SecureChannel::new(kb_enc, kb_mac, ChannelEnd::Device),
+        )
+    }
+
+    #[test]
+    fn channel_round_trip_both_directions() {
+        let (mut user, mut device) = channel_pair();
+        let wire = user.seal(b"weights going in");
+        assert_eq!(device.open(&wire).unwrap(), b"weights going in");
+        let wire = device.seal(b"logits coming out");
+        assert_eq!(user.open(&wire).unwrap(), b"logits coming out");
+    }
+
+    #[test]
+    fn channel_hides_plaintext() {
+        let (mut user, _) = channel_pair();
+        let wire = user.seal(b"super secret tensor data!!");
+        assert!(!wire
+            .windows(8)
+            .any(|w| b"super secret tensor data!!".windows(8).any(|s| s == w)));
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let (mut user, mut device) = channel_pair();
+        let mut wire = user.seal(b"payload");
+        *wire.last_mut().expect("nonempty") ^= 1;
+        assert_eq!(device.open(&wire).unwrap_err(), GuardNnError::ChannelAuth);
+    }
+
+    #[test]
+    fn replayed_message_rejected() {
+        let (mut user, mut device) = channel_pair();
+        let wire = user.seal(b"payload");
+        assert!(device.open(&wire).is_ok());
+        assert_eq!(device.open(&wire).unwrap_err(), GuardNnError::ChannelAuth);
+    }
+
+    #[test]
+    fn reflected_message_rejected() {
+        // A message sealed by the user must not open on the user side
+        // (direction confusion).
+        let (mut user, _) = channel_pair();
+        let wire = user.seal(b"payload");
+        let mut user2 = user.clone();
+        assert_eq!(user2.open(&wire).unwrap_err(), GuardNnError::ChannelAuth);
+    }
+
+    #[test]
+    fn truncated_message_rejected() {
+        let (mut user, mut device) = channel_pair();
+        let wire = user.seal(b"payload");
+        assert_eq!(
+            device.open(&wire[..10]).unwrap_err(),
+            GuardNnError::ChannelAuth
+        );
+    }
+
+    #[test]
+    fn identical_plaintexts_distinct_ciphertexts() {
+        let (mut user, _) = channel_pair();
+        let w1 = user.seal(b"same message");
+        let w2 = user.seal(b"same message");
+        assert_ne!(w1[24..], w2[24..], "sequence number must randomize the pad");
+    }
+}
+
+#[cfg(test)]
+mod user_tests {
+    use super::*;
+    use crate::error::GuardNnError;
+    use guardnn_crypto::cert::Manufacturer;
+    use guardnn_crypto::schnorr::SigningKey;
+
+    fn maker() -> (Manufacturer, TrngModel) {
+        let group = DhGroup::oakley768();
+        let mut rng = TrngModel::from_seed(500);
+        let m = Manufacturer::new(&group, &mut rng);
+        (m, rng)
+    }
+
+    #[test]
+    fn encrypt_before_session_fails() {
+        let (m, _) = maker();
+        let mut user = RemoteUser::new(m.public_key(), 1);
+        assert_eq!(
+            user.encrypt_tensor(&[1, 2, 3]).unwrap_err(),
+            GuardNnError::NoSession
+        );
+        assert_eq!(
+            user.decrypt_tensor(&[0u8; 32]).unwrap_err(),
+            GuardNnError::NoSession
+        );
+    }
+
+    #[test]
+    fn complete_before_begin_fails() {
+        let (m, _) = maker();
+        let mut user = RemoteUser::new(m.public_key(), 2);
+        let err = user.complete_session(&BigUint::from(2u64)).unwrap_err();
+        assert_eq!(err, GuardNnError::InvalidState("begin_session first"));
+    }
+
+    #[test]
+    fn complete_rejects_trivial_device_public() {
+        let (m, _) = maker();
+        let mut user = RemoteUser::new(m.public_key(), 3);
+        let _ = user.begin_session();
+        assert_eq!(
+            user.complete_session(&BigUint::one()).unwrap_err(),
+            GuardNnError::BadPublicKey
+        );
+    }
+
+    #[test]
+    fn attestation_requires_authentication_first() {
+        let (m, mut rng) = maker();
+        let user = RemoteUser::new(m.public_key(), 4);
+        let sk = SigningKey::generate(&DhGroup::oakley768(), &mut rng);
+        let report = crate::attestation::AttestationState::new().report(1);
+        let sig = sk.sign(&report.digest(), &mut rng);
+        assert_eq!(
+            user.verify_attestation(&report, &sig, &report).unwrap_err(),
+            GuardNnError::InvalidState("authenticate first")
+        );
+    }
+
+    #[test]
+    fn attestation_rejects_wrong_device_id() {
+        // Certificate pins device id 7; a report claiming id 8 fails even
+        // with a valid signature from the same key.
+        let (m, mut rng) = maker();
+        let group = DhGroup::oakley768();
+        let device_sk = SigningKey::generate(&group, &mut rng);
+        let cert = m.issue(7, &device_sk.verifying_key(), &mut rng);
+        let mut user = RemoteUser::new(m.public_key(), 5);
+        user.authenticate_device(&cert).expect("auth");
+        let mut st = crate::attestation::AttestationState::new();
+        st.record_input(b"x");
+        let report = st.report(8); // wrong id
+        let sig = device_sk.sign(&report.digest(), &mut rng);
+        assert_eq!(
+            user.verify_attestation(&report, &sig, &report).unwrap_err(),
+            GuardNnError::BadAttestation
+        );
+    }
+}

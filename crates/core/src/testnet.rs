@@ -1,0 +1,150 @@
+//! Small functional networks with deterministic weights, used by tests,
+//! examples, and the quickstart.
+//!
+//! The zoo networks in [`guardnn_models::zoo`] are shape-level descriptions
+//! for performance simulation; the networks here are small enough to
+//! execute *functionally* through the device's integer kernels, end to end
+//! and under encryption.
+
+use guardnn_models::layer::{conv, fc};
+use guardnn_models::{Layer, Network, Op};
+
+/// A 2-layer MLP: 8 → 4 → 2.
+pub fn tiny_mlp() -> Network {
+    Network::new("tiny-mlp", vec![fc("fc1", 1, 8, 4), fc("fc2", 1, 4, 2)])
+}
+
+/// Deterministic weights for [`tiny_mlp`], one `Vec` per layer, derived
+/// from `seed`.
+pub fn tiny_mlp_weights(seed: i32) -> Vec<Vec<i32>> {
+    let net = tiny_mlp();
+    deterministic_weights(&net, seed)
+}
+
+/// Reference (unprotected) computation of [`tiny_mlp`].
+pub fn tiny_mlp_reference(weights: &[Vec<i32>], input: &[i32]) -> Vec<i32> {
+    let h = crate::nn::gemm(1, 8, 4, input, &weights[0]);
+    crate::nn::gemm(1, 4, 2, &h, &weights[1])
+}
+
+/// A small CNN: 4×4×1 conv(→2ch) → group-max pool → FC to 4 classes.
+pub fn tiny_cnn() -> Network {
+    Network::new(
+        "tiny-cnn",
+        vec![
+            conv("conv1", 4, 1, 2, 3, 1, 1), // out: 2×4×4 = 32
+            Layer::new(
+                "pool",
+                Op::Eltwise {
+                    elems: 16,
+                    reads_per_elem: 2,
+                },
+            ),
+            fc("fc", 1, 16, 4),
+        ],
+    )
+}
+
+/// Deterministic per-layer weights for any network (small values in
+/// `[-4, 4)` to avoid overflow in integer accumulation).
+pub fn deterministic_weights(net: &Network, seed: i32) -> Vec<Vec<i32>> {
+    net.layers()
+        .iter()
+        .enumerate()
+        .map(|(li, l)| {
+            (0..l.weight_elems())
+                .map(|i| {
+                    let x = (seed as i64)
+                        .wrapping_mul(31)
+                        .wrapping_add(li as i64 * 17)
+                        .wrapping_add(i as i64 * 7);
+                    ((x % 8) - 4) as i32
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Reference forward pass of an arbitrary functional network.
+///
+/// # Panics
+///
+/// Panics if the layer shapes do not chain (the functional nets here do).
+pub fn reference_forward(net: &Network, weights: &[Vec<i32>], input: &[i32]) -> Vec<i32> {
+    let mut act = input.to_vec();
+    for (l, w) in net.layers().iter().zip(weights.iter()) {
+        act = crate::nn::forward_layer(l, &act, w).expect("shapes chain");
+    }
+    act
+}
+
+/// Reference training step: forward (stashing activations), backward, and
+/// an integer SGD update. Returns the updated per-layer weights.
+///
+/// # Panics
+///
+/// Panics if the layer shapes do not chain.
+pub fn reference_train_step(
+    net: &Network,
+    weights: &[Vec<i32>],
+    input: &[i32],
+    output_grad: &[i32],
+    lr_shift: u32,
+) -> Vec<Vec<i32>> {
+    // Forward, stashing each layer's input.
+    let mut acts = vec![input.to_vec()];
+    for (l, w) in net.layers().iter().zip(weights.iter()) {
+        let next =
+            crate::nn::forward_layer(l, acts.last().expect("nonempty"), w).expect("shapes chain");
+        acts.push(next);
+    }
+    // Backward + update.
+    let mut updated: Vec<Vec<i32>> = weights.to_vec();
+    let mut d_out = output_grad.to_vec();
+    for (i, l) in net.layers().iter().enumerate().rev() {
+        let (d_in, d_w) =
+            crate::nn::backward_layer(l, &acts[i], &weights[i], &d_out).expect("shapes chain");
+        if l.has_weights() {
+            crate::nn::sgd_step(&mut updated[i], &d_w, lr_shift);
+        }
+        d_out = d_in;
+    }
+    updated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_mlp_shapes_chain() {
+        let net = tiny_mlp();
+        let w = tiny_mlp_weights(1);
+        let out = reference_forward(&net, &w, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn tiny_cnn_shapes_chain() {
+        let net = tiny_cnn();
+        let w = deterministic_weights(&net, 2);
+        let out = reference_forward(&net, &w, &[1; 16]);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn weights_deterministic_and_seed_sensitive() {
+        assert_eq!(tiny_mlp_weights(3), tiny_mlp_weights(3));
+        assert_ne!(tiny_mlp_weights(3), tiny_mlp_weights(4));
+    }
+
+    #[test]
+    fn reference_matches_manual_mlp() {
+        let w = tiny_mlp_weights(3);
+        let input = [1, -2, 3, 4, -5, 6, 7, -8];
+        assert_eq!(
+            reference_forward(&tiny_mlp(), &w, &input),
+            tiny_mlp_reference(&w, &input)
+        );
+    }
+}

@@ -1,0 +1,624 @@
+//! Minimal arbitrary-precision unsigned integers with Montgomery modular
+//! exponentiation.
+//!
+//! The GuardNN microcontroller runs a public-key key exchange
+//! (ECDHE–ECDSA in the paper; finite-field DH + Schnorr here — see
+//! DESIGN.md §4). That needs 2048-bit modular arithmetic. This module is a
+//! deliberately small bignum: little-endian `u64` limbs, schoolbook
+//! multiplication, and CIOS Montgomery reduction for fast `modpow`.
+//!
+//! # Example
+//!
+//! ```
+//! use guardnn_crypto::bigint::BigUint;
+//!
+//! let p = BigUint::from(23u64);
+//! let g = BigUint::from(5u64);
+//! assert_eq!(g.modpow(&BigUint::from(6u64), &p), BigUint::from(8u64));
+//! ```
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer (little-endian `u64` limbs).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs with no trailing zero limbs (canonical form).
+    limbs: Vec<u64>,
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x")?;
+        if self.limbs.is_empty() {
+            write!(f, "0")?;
+        }
+        for (i, limb) in self.limbs.iter().rev().enumerate() {
+            if i == 0 {
+                write!(f, "{limb:x}")?;
+            } else {
+                write!(f, "{limb:016x}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            Self { limbs: vec![v] }
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl BigUint {
+    /// The value 0.
+    pub fn zero() -> Self {
+        Self { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        Self { limbs: vec![1] }
+    }
+
+    /// Returns `true` when the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Parses a big-endian byte string (leading zeros allowed).
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        let mut iter = bytes.rchunks(8);
+        for chunk in &mut iter {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        let mut out = Self { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Parses a hex string; whitespace is ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a character is not a hex digit or whitespace (intended for
+    /// compile-time constants such as the RFC 3526 moduli).
+    pub fn from_hex(s: &str) -> Self {
+        let digits: Vec<u8> = s
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .map(|c| c.to_digit(16).expect("invalid hex digit") as u8)
+            .collect();
+        let mut bytes = Vec::with_capacity(digits.len() / 2 + 1);
+        let mut rest: &[u8] = &digits;
+        if rest.len() % 2 == 1 {
+            bytes.push(rest[0]);
+            rest = &rest[1..];
+        }
+        for pair in rest.chunks(2) {
+            bytes.push((pair[0] << 4) | pair[1]);
+        }
+        Self::from_bytes_be(&bytes)
+    }
+
+    /// Serializes as big-endian bytes with no leading zeros (empty for 0).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        while out.first() == Some(&0) {
+            out.remove(0);
+        }
+        out
+    }
+
+    /// Serializes as big-endian bytes left-padded with zeros to `len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `len` bytes.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_bytes_be();
+        assert!(raw.len() <= len, "value does not fit in {len} bytes");
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Number of significant bits.
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Returns bit `i` (little-endian bit order).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Self) -> Self {
+        let n = self.limbs.len().max(other.limbs.len());
+        let mut out = Vec::with_capacity(n + 1);
+        let mut carry = 0u128;
+        for i in 0..n {
+            let a = *self.limbs.get(i).unwrap_or(&0) as u128;
+            let b = *other.limbs.get(i).unwrap_or(&0) as u128;
+            let sum = a + b + carry;
+            out.push(sum as u64);
+            carry = sum >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`.
+    pub fn sub(&self, other: &Self) -> Self {
+        assert!(self >= other, "bigint subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i128;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i] as i128;
+            let b = *other.limbs.get(i).unwrap_or(&0) as i128;
+            let mut diff = a - b - borrow;
+            if diff < 0 {
+                diff += 1i128 << 64;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(diff as u64);
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Schoolbook multiplication `self * other`.
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            out[i + other.limbs.len()] = carry as u64;
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Left shift by one bit.
+    pub fn shl1(&self) -> Self {
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u64;
+        for &l in &self.limbs {
+            out.push((l << 1) | carry);
+            carry = l >> 63;
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Right shift by one bit.
+    pub fn shr1(&self) -> Self {
+        let mut out = self.limbs.clone();
+        let mut carry = 0u64;
+        for l in out.iter_mut().rev() {
+            let new_carry = *l & 1;
+            *l = (*l >> 1) | (carry << 63);
+            carry = new_carry;
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self mod m` by bitwise long reduction.
+    ///
+    /// O(bits(self) · limbs(m)); fine for the one-off reductions the key
+    /// exchange needs (hash outputs, R² seeds). Hot-path modular arithmetic
+    /// goes through [`MontgomeryCtx`].
+    pub fn rem(&self, m: &Self) -> Self {
+        assert!(!m.is_zero(), "modulo by zero");
+        if self < m {
+            return self.clone();
+        }
+        let mut r = Self::zero();
+        for i in (0..self.bit_len()).rev() {
+            r = r.shl1();
+            if self.bit(i) {
+                r = r.add(&Self::one());
+            }
+            if &r >= m {
+                r = r.sub(m);
+            }
+        }
+        r
+    }
+
+    /// Modular addition `(self + other) mod m`; inputs must already be `< m`.
+    pub fn add_mod(&self, other: &Self, m: &Self) -> Self {
+        let s = self.add(other);
+        if &s >= m {
+            s.sub(m)
+        } else {
+            s
+        }
+    }
+
+    /// Modular exponentiation `self^exp mod m` using Montgomery reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is even or zero (Montgomery form needs an odd modulus;
+    /// all DH/Schnorr moduli here are odd primes).
+    pub fn modpow(&self, exp: &Self, m: &Self) -> Self {
+        let ctx = MontgomeryCtx::new(m.clone());
+        ctx.pow(self, exp)
+    }
+}
+
+/// Precomputed Montgomery context for a fixed odd modulus.
+///
+/// Used for every hot modular multiplication in the DH key exchange and
+/// Schnorr signing: 2048-bit `modpow` with CIOS runs in milliseconds even in
+/// debug builds.
+#[derive(Clone, Debug)]
+pub struct MontgomeryCtx {
+    n: BigUint,
+    /// Limb count of the modulus (fixed width of all Montgomery residues).
+    width: usize,
+    /// `-n^{-1} mod 2^64`.
+    n0_inv: u64,
+    /// `R^2 mod n` where `R = 2^(64*width)`.
+    r2: BigUint,
+}
+
+impl MontgomeryCtx {
+    /// Builds a context for the odd modulus `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or even.
+    pub fn new(n: BigUint) -> Self {
+        assert!(!n.is_zero(), "modulus must be nonzero");
+        assert!(n.limbs[0] & 1 == 1, "modulus must be odd");
+        let width = n.limbs.len();
+        // Newton iteration for inverse of n mod 2^64.
+        let n0 = n.limbs[0];
+        let mut inv = 1u64;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        let n0_inv = inv.wrapping_neg();
+        // R^2 mod n by 2*width*64 doublings of R mod n... start from 1 and
+        // double 2*width*64 times mod n.
+        let mut r2 = BigUint::one();
+        for _ in 0..(2 * width * 64) {
+            r2 = r2.shl1();
+            if r2 >= n {
+                r2 = r2.sub(&n);
+            }
+        }
+        Self {
+            n,
+            width,
+            n0_inv,
+            r2,
+        }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// CIOS Montgomery multiplication of two width-limb residues.
+    #[allow(clippy::needless_range_loop)]
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let w = self.width;
+        let mut t = vec![0u64; w + 2];
+        for i in 0..w {
+            // t += a[i] * b
+            let mut carry = 0u128;
+            for j in 0..w {
+                let s = t[j] as u128 + (a[i] as u128) * (b[j] as u128) + carry;
+                t[j] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[w] as u128 + carry;
+            t[w] = s as u64;
+            t[w + 1] = (s >> 64) as u64;
+            // m = t[0] * n0_inv mod 2^64; t += m * n; t >>= 64
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let s = t[0] as u128 + (m as u128) * (self.n.limbs[0] as u128);
+            let mut carry = s >> 64;
+            for j in 1..w {
+                let s = t[j] as u128 + (m as u128) * (self.n.limbs[j] as u128) + carry;
+                t[j - 1] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[w] as u128 + carry;
+            t[w - 1] = s as u64;
+            t[w] = t[w + 1] + ((s >> 64) as u64);
+            t[w + 1] = 0;
+        }
+        // Final conditional subtraction.
+        let mut res = t[..w].to_vec();
+        let overflow = t[w] != 0;
+        if overflow || ge_limbs(&res, &self.n.limbs) {
+            sub_limbs(&mut res, &self.n.limbs);
+        }
+        res
+    }
+
+    /// Converts into Montgomery form (`a * R mod n`).
+    fn to_mont(&self, a: &BigUint) -> Vec<u64> {
+        let a = if a >= &self.n {
+            a.rem(&self.n)
+        } else {
+            a.clone()
+        };
+        let mut al = a.limbs.clone();
+        al.resize(self.width, 0);
+        let mut r2 = self.r2.limbs.clone();
+        r2.resize(self.width, 0);
+        self.mont_mul(&al, &r2)
+    }
+
+    /// Converts out of Montgomery form.
+    fn reduce_from_mont(&self, a: &[u64]) -> BigUint {
+        let one = {
+            let mut v = vec![0u64; self.width];
+            v[0] = 1;
+            v
+        };
+        let mut r = BigUint {
+            limbs: self.mont_mul(a, &one),
+        };
+        r.normalize();
+        r
+    }
+
+    /// Modular multiplication `(a * b) mod n`.
+    pub fn mul_mod(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.reduce_from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// Modular exponentiation `base^exp mod n` (left-to-right square & multiply).
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one().rem(&self.n);
+        }
+        let bm = self.to_mont(base);
+        let mut acc = bm.clone();
+        for i in (0..exp.bit_len() - 1).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mont_mul(&acc, &bm);
+            }
+        }
+        self.reduce_from_mont(&acc)
+    }
+}
+
+/// `a >= b` for equal-width limb slices.
+fn ge_limbs(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        match x.cmp(y) {
+            Ordering::Greater => return true,
+            Ordering::Less => return false,
+            Ordering::Equal => {}
+        }
+    }
+    true
+}
+
+/// `a -= b` in place for equal-width limb slices (caller ensures `a >= b`).
+fn sub_limbs(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0i128;
+    for (x, y) in a.iter_mut().zip(b.iter()) {
+        let mut diff = *x as i128 - *y as i128 - borrow;
+        if diff < 0 {
+            diff += 1i128 << 64;
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        *x = diff as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u64) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let x = BigUint::from_bytes_be(&[0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0, 0x11]);
+        assert_eq!(
+            x.to_bytes_be(),
+            vec![0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0, 0x11]
+        );
+        assert_eq!(BigUint::from_bytes_be(&[0, 0, 5]).to_bytes_be(), vec![5]);
+        assert!(BigUint::from_bytes_be(&[]).is_zero());
+    }
+
+    #[test]
+    fn hex_parsing() {
+        assert_eq!(BigUint::from_hex("ff"), n(255));
+        assert_eq!(BigUint::from_hex("1 00"), n(256));
+        assert_eq!(BigUint::from_hex("DEADBEEF"), n(0xDEAD_BEEF));
+        // Odd number of digits.
+        assert_eq!(BigUint::from_hex("abc"), n(0xabc));
+    }
+
+    #[test]
+    fn padded_serialization() {
+        assert_eq!(n(0x1234).to_bytes_be_padded(4), vec![0, 0, 0x12, 0x34]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn padded_serialization_too_small() {
+        let _ = n(0x123456).to_bytes_be_padded(2);
+    }
+
+    #[test]
+    fn add_sub_with_carries() {
+        let a = BigUint::from_hex("ffffffffffffffff ffffffffffffffff");
+        let one = BigUint::one();
+        let sum = a.add(&one);
+        assert_eq!(sum.bit_len(), 129);
+        assert_eq!(sum.sub(&one), a);
+    }
+
+    #[test]
+    fn mul_known_values() {
+        assert_eq!(
+            n(0xffff_ffff).mul(&n(0xffff_ffff)),
+            n(0xFFFF_FFFE_0000_0001)
+        );
+        let a = BigUint::from_hex("123456789abcdef0");
+        assert_eq!(a.mul(&BigUint::zero()), BigUint::zero());
+        assert_eq!(a.mul(&BigUint::one()), a);
+    }
+
+    #[test]
+    fn rem_small() {
+        assert_eq!(n(100).rem(&n(7)), n(2));
+        assert_eq!(n(6).rem(&n(7)), n(6));
+        assert_eq!(n(7).rem(&n(7)), n(0));
+    }
+
+    #[test]
+    fn modpow_small_prime() {
+        // Fermat: a^(p-1) = 1 mod p for prime p not dividing a.
+        let p = n(1_000_000_007);
+        for a in [2u64, 3, 12345, 999_999_999] {
+            assert_eq!(n(a).modpow(&p.sub(&BigUint::one()), &p), BigUint::one());
+        }
+    }
+
+    #[test]
+    fn modpow_zero_exponent() {
+        assert_eq!(n(5).modpow(&BigUint::zero(), &n(7)), BigUint::one());
+    }
+
+    #[test]
+    fn modpow_matches_naive_multilimb() {
+        // 128-bit odd modulus.
+        let m = BigUint::from_hex("f0000000000000000000000000000001");
+        let base = BigUint::from_hex("123456789abcdef0fedcba9876543210");
+        let exp = n(65537);
+        // Naive square-and-multiply using mul + rem.
+        let mut naive = BigUint::one();
+        for i in (0..exp.bit_len()).rev() {
+            naive = naive.mul(&naive).rem(&m);
+            if exp.bit(i) {
+                naive = naive.mul(&base).rem(&m);
+            }
+        }
+        assert_eq!(base.modpow(&exp, &m), naive);
+    }
+
+    #[test]
+    fn montgomery_mul_mod_matches_naive() {
+        let m = BigUint::from_hex("c90fdaa22168c234c4c6628b80dc1cd129024e088a67cc75");
+        let ctx = MontgomeryCtx::new(m.clone());
+        let a = BigUint::from_hex("0123456789abcdef0123456789abcdef0123456789abcdef");
+        let b = BigUint::from_hex("fedcba9876543210fedcba9876543210fedcba9876543210");
+        assert_eq!(ctx.mul_mod(&a, &b), a.mul(&b).rem(&m));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(n(5) < n(6));
+        assert!(BigUint::from_hex("10000000000000000") > n(u64::MAX));
+        assert_eq!(n(5).cmp(&n(5)), Ordering::Equal);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(n(5).shl1(), n(10));
+        assert_eq!(n(5).shr1(), n(2));
+        let big = BigUint::from_hex("8000000000000000");
+        assert_eq!(big.shl1(), BigUint::from_hex("10000000000000000"));
+    }
+}

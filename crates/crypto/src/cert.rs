@@ -1,0 +1,147 @@
+//! Minimal manufacturer certificate chain.
+//!
+//! The paper assumes each accelerator is provisioned by a trusted
+//! manufacturer with a unique private key plus a certificate, and that the
+//! remote user obtains the device public key "using a public key
+//! infrastructure as in Intel SGX or TPMs". This module models the smallest
+//! PKI that supports that flow: a manufacturer (CA) signing key, a device
+//! certificate binding a device id to its verifying key, and user-side
+//! verification against the manufacturer's public key.
+//!
+//! # Example
+//!
+//! ```
+//! use guardnn_crypto::cert::Manufacturer;
+//! use guardnn_crypto::dh::DhGroup;
+//! use guardnn_crypto::rng::TrngModel;
+//! use guardnn_crypto::schnorr::SigningKey;
+//!
+//! let group = DhGroup::oakley768();
+//! let mut rng = TrngModel::from_seed(0);
+//! let maker = Manufacturer::new(&group, &mut rng);
+//! let device_key = SigningKey::generate(&group, &mut rng);
+//! let cert = maker.issue(42, &device_key.verifying_key(), &mut rng);
+//! assert!(cert.verify(&maker.public_key()));
+//! ```
+
+use crate::dh::DhGroup;
+use crate::rng::TrngModel;
+use crate::schnorr::{Signature, SigningKey, VerifyingKey};
+use crate::sha256::Sha256;
+
+/// A device certificate: (device id, device public key) signed by the
+/// manufacturer.
+#[derive(Clone, Debug)]
+pub struct Certificate {
+    /// Unique device serial number.
+    pub device_id: u64,
+    /// The device's attestation/verifying key.
+    pub device_key: VerifyingKey,
+    /// Manufacturer signature over `H(device_id ‖ device_key)`.
+    pub signature: Signature,
+}
+
+fn cert_digest(device_id: u64, device_key: &VerifyingKey) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"guardnn-device-cert-v1");
+    h.update(&device_id.to_be_bytes());
+    h.update(&device_key.to_bytes());
+    h.finalize()
+}
+
+impl Certificate {
+    /// Verifies the manufacturer signature with the manufacturer's public
+    /// key (the user's root of trust).
+    pub fn verify(&self, manufacturer_key: &VerifyingKey) -> bool {
+        manufacturer_key.verify(
+            &cert_digest(self.device_id, &self.device_key),
+            &self.signature,
+        )
+    }
+}
+
+/// The trusted manufacturer (certificate authority).
+#[derive(Clone, Debug)]
+pub struct Manufacturer {
+    key: SigningKey,
+}
+
+impl Manufacturer {
+    /// Creates a manufacturer with a fresh CA key.
+    pub fn new(group: &DhGroup, rng: &mut TrngModel) -> Self {
+        Self {
+            key: SigningKey::generate(group, rng),
+        }
+    }
+
+    /// The manufacturer's public key, distributed out of band to users.
+    pub fn public_key(&self) -> VerifyingKey {
+        self.key.verifying_key()
+    }
+
+    /// Issues a certificate for a device attestation key.
+    pub fn issue(
+        &self,
+        device_id: u64,
+        device_key: &VerifyingKey,
+        rng: &mut TrngModel,
+    ) -> Certificate {
+        let signature = self.key.sign(&cert_digest(device_id, device_key), rng);
+        Certificate {
+            device_id,
+            device_key: device_key.clone(),
+            signature,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Manufacturer, SigningKey, TrngModel) {
+        let group = DhGroup::oakley768();
+        let mut rng = TrngModel::from_seed(7);
+        let maker = Manufacturer::new(&group, &mut rng);
+        let device = SigningKey::generate(&group, &mut rng);
+        (maker, device, rng)
+    }
+
+    #[test]
+    fn issued_cert_verifies() {
+        let (maker, device, mut rng) = setup();
+        let cert = maker.issue(1, &device.verifying_key(), &mut rng);
+        assert!(cert.verify(&maker.public_key()));
+    }
+
+    #[test]
+    fn cert_bound_to_device_id() {
+        let (maker, device, mut rng) = setup();
+        let cert = maker.issue(1, &device.verifying_key(), &mut rng);
+        let forged = Certificate {
+            device_id: 2,
+            ..cert
+        };
+        assert!(!forged.verify(&maker.public_key()));
+    }
+
+    #[test]
+    fn cert_bound_to_device_key() {
+        let (maker, device, mut rng) = setup();
+        let cert = maker.issue(1, &device.verifying_key(), &mut rng);
+        let other = SigningKey::generate(device.verifying_key().group(), &mut rng);
+        let forged = Certificate {
+            device_key: other.verifying_key(),
+            ..cert
+        };
+        assert!(!forged.verify(&maker.public_key()));
+    }
+
+    #[test]
+    fn cert_rejected_by_wrong_ca() {
+        let (maker, device, mut rng) = setup();
+        let cert = maker.issue(1, &device.verifying_key(), &mut rng);
+        let rogue = Manufacturer::new(device.verifying_key().group(), &mut rng);
+        assert!(!cert.verify(&rogue.public_key()));
+    }
+}

@@ -1,0 +1,171 @@
+//! HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+//!
+//! GuardNN derives its symmetric session key (K_Session) and memory
+//! encryption key (K_MEnc) from the Diffie-Hellman shared secret with a key
+//! derivation function; this module supplies HKDF-SHA256 for that purpose.
+//!
+//! # Example
+//!
+//! ```
+//! use guardnn_crypto::hmac::hkdf_sha256;
+//!
+//! let okm = hkdf_sha256(b"shared-secret", b"salt", b"guardnn session", 32);
+//! assert_eq!(okm.len(), 32);
+//! ```
+
+use crate::sha256::Sha256;
+
+/// Computes HMAC-SHA256 of `message` under `key`.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    let mut key_block = [0u8; 64];
+    if key.len() > 64 {
+        key_block[..32].copy_from_slice(&Sha256::digest(key));
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Sha256::new();
+    let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// HKDF-SHA256 extract-and-expand (RFC 5869).
+///
+/// Returns `len` bytes of output keying material derived from `ikm` with the
+/// given `salt` and `info` context string.
+///
+/// # Panics
+///
+/// Panics if `len > 255 * 32` (the HKDF output limit).
+pub fn hkdf_sha256(ikm: &[u8], salt: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * 32, "hkdf output too long");
+    let prk = hmac_sha256(salt, ikm);
+    let mut okm = Vec::with_capacity(len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while okm.len() < len {
+        let mut msg = t.clone();
+        msg.extend_from_slice(info);
+        msg.push(counter);
+        t = hmac_sha256(&prk, &msg).to_vec();
+        okm.extend_from_slice(&t);
+        counter += 1;
+    }
+    okm.truncate(len);
+    okm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0b; 20];
+        let mac = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    /// RFC 4231 test case 2 (short key, "what do ya want for nothing?").
+    #[test]
+    fn rfc4231_case2() {
+        let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    /// RFC 4231 test case 3 (key and data of 0xaa/0xdd bytes).
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaa; 20];
+        let data = [0xdd; 50];
+        let mac = hmac_sha256(&key, &data);
+        assert_eq!(
+            hex(&mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    /// RFC 4231 test case 6 (key longer than block size).
+    #[test]
+    fn rfc4231_case6() {
+        let key = [0xaa; 131];
+        let mac = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            hex(&mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    /// RFC 5869 test case 1.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0b; 22];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let okm = hkdf_sha256(&ikm, &salt, &info, 42);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    /// RFC 5869 test case 3 (empty salt and info).
+    #[test]
+    fn rfc5869_case3() {
+        let ikm = [0x0b; 22];
+        let okm = hkdf_sha256(&ikm, b"", b"", 42);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    /// RFC 5869 test case 2: long inputs, 82-byte output (multi-block
+    /// expand).
+    #[test]
+    fn rfc5869_case2_long() {
+        let ikm: Vec<u8> = (0x00..=0x4f).collect();
+        let salt: Vec<u8> = (0x60..=0xaf).collect();
+        let info: Vec<u8> = (0xb0..=0xff).collect();
+        let okm = hkdf_sha256(&ikm, &salt, &info, 82);
+        assert_eq!(
+            hex(&okm[..32]),
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c"
+        );
+        assert_eq!(okm.len(), 82);
+    }
+
+    #[test]
+    #[should_panic(expected = "hkdf output too long")]
+    fn hkdf_output_limit_enforced() {
+        let _ = hkdf_sha256(b"ikm", b"", b"", 255 * 32 + 1);
+    }
+
+    #[test]
+    fn distinct_info_distinct_keys() {
+        let a = hkdf_sha256(b"secret", b"", b"guardnn k_session", 16);
+        let b = hkdf_sha256(b"secret", b"", b"guardnn k_menc", 16);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,67 @@
+//! DRAM simulation statistics.
+
+/// Counters accumulated over a simulation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Total read transactions.
+    pub reads: u64,
+    /// Total write transactions.
+    pub writes: u64,
+    /// Column accesses that hit an open row.
+    pub row_hits: u64,
+    /// Column accesses that required activating a closed row.
+    pub row_misses: u64,
+    /// Column accesses that required closing a different open row first.
+    pub row_conflicts: u64,
+    /// Refresh commands issued.
+    pub refreshes: u64,
+    /// Memory-clock cycle at which the last transaction's data completed.
+    pub total_cycles: u64,
+}
+
+impl DramStats {
+    /// Total transactions.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Row-hit rate over all column accesses.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses + self.row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Achieved bandwidth in bytes per cycle given the access granularity.
+    pub fn bytes_per_cycle(&self, access_bytes: u64) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            (self.accesses() * access_bytes) as f64 / self.total_cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_empty_is_zero() {
+        assert_eq!(DramStats::default().row_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_math() {
+        let stats = DramStats {
+            reads: 100,
+            writes: 0,
+            total_cycles: 400,
+            ..Default::default()
+        };
+        assert_eq!(stats.bytes_per_cycle(64), 16.0);
+    }
+}

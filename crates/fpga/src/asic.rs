@@ -1,0 +1,119 @@
+//! ASIC area/power overhead estimate (§III-C "ASIC Power/Area Overhead").
+//!
+//! The paper scales a published 28 nm low-power AES engine (0.0031 mm²,
+//! 3.85 mW, 991 Mbps at 875 MHz) against TPU-v1 (331 mm², 75 W, 272 Gbps
+//! peak memory bandwidth, also 28 nm): enough AES engines to match the
+//! memory bandwidth cost ≈0.3% area and ≈1.8% power.
+
+/// Published 28 nm component figures.
+#[derive(Clone, Copy, Debug)]
+pub struct AsicModel {
+    /// One AES engine's area, mm².
+    pub aes_area_mm2: f64,
+    /// One AES engine's power, mW.
+    pub aes_power_mw: f64,
+    /// One AES engine's throughput, Gbps.
+    pub aes_gbps: f64,
+    /// Host accelerator area, mm² (TPU-v1).
+    pub accel_area_mm2: f64,
+    /// Host accelerator power, W (TPU-v1).
+    pub accel_power_w: f64,
+    /// Memory bandwidth to cover, Gbps (TPU-v1 peak: 34 GB/s = 272 Gbps).
+    pub mem_bw_gbps: f64,
+    /// Engine provisioning margin (the paper instantiates 344 ≈ 1.25×
+    /// the exact 275 to cover read+write turnaround).
+    pub margin: f64,
+}
+
+impl Default for AsicModel {
+    fn default() -> Self {
+        Self {
+            aes_area_mm2: 0.0031,
+            aes_power_mw: 3.85,
+            aes_gbps: 0.991,
+            accel_area_mm2: 331.0,
+            accel_power_w: 75.0,
+            mem_bw_gbps: 272.0,
+            margin: 1.25,
+        }
+    }
+}
+
+/// The computed overhead estimate.
+#[derive(Clone, Copy, Debug)]
+pub struct AsicOverhead {
+    /// AES engines instantiated.
+    pub engines: u32,
+    /// Added area, mm².
+    pub area_mm2: f64,
+    /// Added area relative to the accelerator, percent.
+    pub area_percent: f64,
+    /// Added power, W.
+    pub power_w: f64,
+    /// Added power relative to the accelerator, percent.
+    pub power_percent: f64,
+}
+
+impl AsicModel {
+    /// Number of engines needed to match the memory bandwidth (with
+    /// margin).
+    pub fn engines_needed(&self) -> u32 {
+        (self.mem_bw_gbps * self.margin / self.aes_gbps).ceil() as u32
+    }
+
+    /// Computes the overhead estimate.
+    pub fn overhead(&self) -> AsicOverhead {
+        let engines = self.engines_needed();
+        let area = engines as f64 * self.aes_area_mm2;
+        let power = engines as f64 * self.aes_power_mw / 1e3;
+        AsicOverhead {
+            engines,
+            area_mm2: area,
+            area_percent: 100.0 * area / self.accel_area_mm2,
+            power_w: power,
+            power_percent: 100.0 * power / self.accel_power_w,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_count_near_paper() {
+        // Paper: 344 engines.
+        let n = AsicModel::default().engines_needed();
+        assert!((330..360).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn area_overhead_near_paper() {
+        // Paper: 0.3% area.
+        let o = AsicModel::default().overhead();
+        assert!(
+            (0.25..0.40).contains(&o.area_percent),
+            "got {}",
+            o.area_percent
+        );
+    }
+
+    #[test]
+    fn power_overhead_near_paper() {
+        // Paper: 1.8% power.
+        let o = AsicModel::default().overhead();
+        assert!(
+            (1.5..2.1).contains(&o.power_percent),
+            "got {}",
+            o.power_percent
+        );
+    }
+
+    #[test]
+    fn overhead_scales_with_bandwidth() {
+        let mut m = AsicModel::default();
+        let base = m.overhead().area_percent;
+        m.mem_bw_gbps *= 2.0;
+        assert!(m.overhead().area_percent > 1.9 * base);
+    }
+}

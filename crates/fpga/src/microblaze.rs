@@ -1,0 +1,141 @@
+//! MicroBlaze firmware latency model for the GuardNN instructions.
+//!
+//! The paper measures (on a real MicroBlaze): GetPK + InitSession 23.1 ms,
+//! SetWeight 19.5 / 2.2 / 8.0 / 43.3 ms for AlexNet / GoogleNet / ResNet /
+//! VGG, SetInput 0.1 ms, ExportOutput 0.01 ms, SignOutput 4.8 ms. This
+//! module models those latencies from first principles:
+//!
+//! * Public-key operations cost a fixed number of scalar-multiplication
+//!   equivalents on the soft core (calibrated to the 23.1 ms handshake).
+//! * Bulk re-encryption (`SetWeight`/`SetInput`/`ExportOutput`) moves each
+//!   byte through the fabric AES engines twice (decrypt with K_Session,
+//!   re-encrypt with K_MEnc) at the sustained AES bandwidth.
+
+use guardnn_models::Network;
+
+/// Latency model parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MicroblazeModel {
+    /// One elliptic-curve-class scalar multiplication on the soft core,
+    /// seconds. Calibrated so the 7-scalar-mult ECDHE-ECDSA handshake
+    /// costs 23.1 ms.
+    pub scalar_mult_s: f64,
+    /// Sustained one-direction AES re-encryption bandwidth, bytes/s
+    /// (measured from the paper's SetWeight latencies: ≈ 6.4 GB/s).
+    pub reencrypt_bw: f64,
+    /// Fixed per-instruction firmware overhead, seconds.
+    pub fixed_overhead_s: f64,
+    /// Report hashing time for SignOutput, seconds.
+    pub report_hash_s: f64,
+}
+
+impl Default for MicroblazeModel {
+    fn default() -> Self {
+        Self {
+            scalar_mult_s: 23.1e-3 / 7.0,
+            reencrypt_bw: 6.4e9,
+            fixed_overhead_s: 10e-6,
+            report_hash_s: 1.5e-3,
+        }
+    }
+}
+
+impl MicroblazeModel {
+    /// GetPK + InitSession: the full ECDHE–ECDSA handshake
+    /// (ephemeral keygen, shared secret, certificate signature chain —
+    /// 7 scalar-mult equivalents). Network-independent.
+    pub fn handshake_s(&self) -> f64 {
+        7.0 * self.scalar_mult_s + self.fixed_overhead_s
+    }
+
+    /// SetWeight for a whole model: decrypt + re-encrypt every weight byte.
+    pub fn set_weight_s(&self, net: &Network, bytes_per_elem: f64) -> f64 {
+        let bytes = net.param_count() as f64 * bytes_per_elem;
+        2.0 * bytes / self.reencrypt_bw + self.fixed_overhead_s
+    }
+
+    /// SetInput for an input of `bytes`.
+    pub fn set_input_s(&self, bytes: f64) -> f64 {
+        2.0 * bytes / self.reencrypt_bw + self.fixed_overhead_s
+    }
+
+    /// ExportOutput for an output of `bytes`.
+    pub fn export_output_s(&self, bytes: f64) -> f64 {
+        2.0 * bytes / self.reencrypt_bw + self.fixed_overhead_s
+    }
+
+    /// SignOutput: hash the attestation state, one signature.
+    pub fn sign_output_s(&self) -> f64 {
+        self.scalar_mult_s + self.report_hash_s + self.fixed_overhead_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guardnn_models::zoo;
+
+    fn ms(s: f64) -> f64 {
+        s * 1e3
+    }
+
+    #[test]
+    fn handshake_matches_paper() {
+        let m = MicroblazeModel::default();
+        let t = ms(m.handshake_s());
+        assert!((22.0..24.5).contains(&t), "got {t} ms (paper: 23.1)");
+    }
+
+    #[test]
+    fn set_weight_matches_paper_per_network() {
+        let m = MicroblazeModel::default();
+        // Paper (ms): AlexNet 19.5, GoogleNet 2.2, ResNet 8.0, VGG 43.3.
+        let cases = [
+            (zoo::alexnet(), 19.5),
+            (zoo::googlenet(), 2.2),
+            (zoo::resnet50(), 8.0),
+            (zoo::vgg16(), 43.3),
+        ];
+        for (net, paper_ms) in cases {
+            let t = ms(m.set_weight_s(&net, 1.0));
+            let ratio = t / paper_ms;
+            assert!(
+                (0.6..1.5).contains(&ratio),
+                "{}: got {t:.1} ms, paper {paper_ms} ms",
+                net.name()
+            );
+        }
+    }
+
+    #[test]
+    fn set_input_sub_millisecond() {
+        let m = MicroblazeModel::default();
+        // One 224×224×3 image at 8-bit.
+        let t = ms(m.set_input_s(224.0 * 224.0 * 3.0));
+        assert!(t < 0.2, "got {t} ms (paper: 0.1)");
+    }
+
+    #[test]
+    fn export_output_tiny() {
+        let m = MicroblazeModel::default();
+        let t = ms(m.export_output_s(1000.0));
+        assert!(t < 0.05, "got {t} ms (paper: 0.01)");
+    }
+
+    #[test]
+    fn sign_output_matches_paper() {
+        let m = MicroblazeModel::default();
+        let t = ms(m.sign_output_s());
+        assert!((3.5..6.0).contains(&t), "got {t} ms (paper: 4.8)");
+    }
+
+    #[test]
+    fn weight_import_ordering_matches_model_sizes() {
+        // VGG > AlexNet > ResNet > GoogleNet, as in the paper.
+        let m = MicroblazeModel::default();
+        let t = |n: &guardnn_models::Network| m.set_weight_s(n, 1.0);
+        assert!(t(&zoo::vgg16()) > t(&zoo::alexnet()));
+        assert!(t(&zoo::alexnet()) > t(&zoo::resnet50()));
+        assert!(t(&zoo::resnet50()) > t(&zoo::googlenet()));
+    }
+}

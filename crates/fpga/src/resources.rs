@@ -1,0 +1,143 @@
+//! FPGA resource-overhead accounting (§III-B "Resource Overhead").
+//!
+//! The paper reports, for the 512-DSP / 8-bit prototype: one AES-128 core
+//! uses 9.0K LUTs and 3.0K FFs (8.2% / 2.6% of the design); the MicroBlaze
+//! uses 2.7K LUTs (2.5%), 2.2K FFs (1.9%), 64 BRAMs (11.0%) and 6 DSPs
+//! (0.9%). This module derives the implied base-design footprint and
+//! produces the overhead table for any number of AES engines.
+
+/// Resource usage of one block.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Resources {
+    /// Look-up tables.
+    pub luts: f64,
+    /// Flip-flops.
+    pub ffs: f64,
+    /// Block RAMs.
+    pub brams: f64,
+    /// DSP slices.
+    pub dsps: f64,
+}
+
+impl Resources {
+    /// One AES-128 core (open-source IP, paper numbers).
+    pub fn aes_core() -> Self {
+        Self {
+            luts: 9_000.0,
+            ffs: 3_000.0,
+            brams: 0.0,
+            dsps: 0.0,
+        }
+    }
+
+    /// The MicroBlaze microcontroller with 256 KB local memory.
+    pub fn microblaze() -> Self {
+        Self {
+            luts: 2_700.0,
+            ffs: 2_200.0,
+            brams: 64.0,
+            dsps: 6.0,
+        }
+    }
+
+    /// The base CHaiDNN design (512 DSPs, 8-bit), derived from the paper's
+    /// overhead percentages: 9.0K LUTs = 8.2% ⇒ ~110K LUTs; 3.0K FFs =
+    /// 2.6% ⇒ ~115K FFs; 64 BRAMs = 11.0% ⇒ ~582 BRAMs; 6 DSPs = 0.9% ⇒
+    /// ~667 DSPs (512 MAC DSPs + auxiliary).
+    pub fn chaidnn_512_base() -> Self {
+        Self {
+            luts: 9_000.0 / 0.082,
+            ffs: 3_000.0 / 0.026,
+            brams: 64.0 / 0.110,
+            dsps: 6.0 / 0.009,
+        }
+    }
+
+    /// Element-wise sum.
+    pub fn plus(&self, other: &Resources) -> Resources {
+        Resources {
+            luts: self.luts + other.luts,
+            ffs: self.ffs + other.ffs,
+            brams: self.brams + other.brams,
+            dsps: self.dsps + other.dsps,
+        }
+    }
+
+    /// Scales every resource (e.g. N AES cores).
+    pub fn times(&self, n: f64) -> Resources {
+        Resources {
+            luts: self.luts * n,
+            ffs: self.ffs * n,
+            brams: self.brams * n,
+            dsps: self.dsps * n,
+        }
+    }
+
+    /// Percentage overhead of `self` on top of `base`, per resource class.
+    pub fn overhead_percent(&self, base: &Resources) -> Resources {
+        Resources {
+            luts: 100.0 * self.luts / base.luts,
+            ffs: 100.0 * self.ffs / base.ffs,
+            brams: if base.brams == 0.0 {
+                0.0
+            } else {
+                100.0 * self.brams / base.brams
+            },
+            dsps: if base.dsps == 0.0 {
+                0.0
+            } else {
+                100.0 * self.dsps / base.dsps
+            },
+        }
+    }
+}
+
+/// The full GuardNN addition for `aes_engines` engines.
+pub fn guardnn_addition(aes_engines: usize) -> Resources {
+    Resources::aes_core()
+        .times(aes_engines as f64)
+        .plus(&Resources::microblaze())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_aes_core_matches_paper_percentages() {
+        let ovh = Resources::aes_core().overhead_percent(&Resources::chaidnn_512_base());
+        assert!((8.1..8.3).contains(&ovh.luts), "LUT overhead {}", ovh.luts);
+        assert!((2.5..2.7).contains(&ovh.ffs), "FF overhead {}", ovh.ffs);
+    }
+
+    #[test]
+    fn microblaze_matches_paper_percentages() {
+        let ovh = Resources::microblaze().overhead_percent(&Resources::chaidnn_512_base());
+        assert!((2.4..2.6).contains(&ovh.luts));
+        assert!((1.8..2.0).contains(&ovh.ffs));
+        assert!((10.9..11.1).contains(&ovh.brams));
+        assert!((0.85..0.95).contains(&ovh.dsps));
+    }
+
+    #[test]
+    fn three_engine_total_stays_reasonable() {
+        let total = guardnn_addition(3).overhead_percent(&Resources::chaidnn_512_base());
+        // 3 AES cores + MicroBlaze ≈ 27% LUTs — the dominant cost, as the
+        // paper discusses (AES engines are the main area adder).
+        assert!((20.0..35.0).contains(&total.luts), "got {}", total.luts);
+    }
+
+    #[test]
+    fn arithmetic_helpers() {
+        let a = Resources {
+            luts: 1.0,
+            ffs: 2.0,
+            brams: 3.0,
+            dsps: 4.0,
+        };
+        let b = a.times(2.0);
+        assert_eq!(b.luts, 2.0);
+        let c = a.plus(&b);
+        assert_eq!(c.dsps, 12.0);
+    }
+}

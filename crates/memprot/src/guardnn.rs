@@ -1,0 +1,246 @@
+//! The GuardNN DNN-specific memory-protection engine.
+//!
+//! Confidentiality: AES-CTR with version numbers built from a handful of
+//! on-chip counters ([`crate::vn::VersionCounters`]) — no VN is ever stored
+//! in DRAM, so encryption adds *zero* memory traffic.
+//!
+//! Integrity (GuardNN_CI): one MAC per data chunk, where the chunk size
+//! matches the accelerator's DRAM burst granularity (512 B for the paper's
+//! prototype). Because VNs are trusted on-chip state, no integrity tree is
+//! needed — a flat MAC array suffices (replay is defeated by the VN inside
+//! the MAC). That is the paper's key traffic saving over BP.
+
+use crate::cache::MetaCache;
+use crate::vn::VersionCounters;
+use crate::{MetaAccess, ProtectionEngine, StreamClass, BLOCK_BYTES};
+
+/// Protection level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Protection {
+    /// Memory encryption only (GuardNN_C).
+    ConfidentialityOnly,
+    /// Encryption plus per-chunk MAC integrity (GuardNN_CI).
+    ConfidentialityIntegrity,
+}
+
+/// Configuration of the GuardNN engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GuardNnConfig {
+    /// Protection level.
+    pub protection: Protection,
+    /// Data bytes covered by one MAC (the accelerator's write granularity;
+    /// 512 B in the paper's prototype).
+    pub mac_chunk_bytes: u64,
+    /// Bytes of one MAC entry.
+    pub mac_entry_bytes: u64,
+    /// Small on-chip MAC buffer that coalesces MAC-line traffic for
+    /// sequential chunks.
+    pub mac_cache_bytes: u64,
+}
+
+impl Default for GuardNnConfig {
+    fn default() -> Self {
+        Self {
+            protection: Protection::ConfidentialityIntegrity,
+            mac_chunk_bytes: 512,
+            mac_entry_bytes: 8,
+            mac_cache_bytes: 4 << 10,
+        }
+    }
+}
+
+/// The GuardNN protection engine (performance model).
+#[derive(Clone, Debug)]
+pub struct GuardNnEngine {
+    cfg: GuardNnConfig,
+    counters: VersionCounters,
+    mac_base: u64,
+    mac_cache: MetaCache,
+}
+
+impl GuardNnEngine {
+    /// Creates an engine protecting `data_bytes` of DRAM.
+    pub fn new(data_bytes: u64, cfg: GuardNnConfig) -> Self {
+        Self {
+            counters: VersionCounters::new(),
+            mac_base: data_bytes.next_multiple_of(4096),
+            mac_cache: MetaCache::new(cfg.mac_cache_bytes, 4),
+            cfg,
+        }
+    }
+
+    /// GuardNN_C: confidentiality only.
+    pub fn confidentiality_only(data_bytes: u64) -> Self {
+        Self::new(
+            data_bytes,
+            GuardNnConfig {
+                protection: Protection::ConfidentialityOnly,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// GuardNN_CI: confidentiality and integrity.
+    pub fn confidentiality_and_integrity(data_bytes: u64) -> Self {
+        Self::new(data_bytes, GuardNnConfig::default())
+    }
+
+    /// The on-chip version counters (shared with the functional model).
+    pub fn counters(&self) -> &VersionCounters {
+        &self.counters
+    }
+
+    /// Mutable access to the counters (the device's instruction handlers
+    /// drive `SetInput` / `SetWeight` through this).
+    pub fn counters_mut(&mut self) -> &mut VersionCounters {
+        &mut self.counters
+    }
+
+    fn mac_line_addr(&self, block_addr: u64) -> u64 {
+        let chunk = block_addr / self.cfg.mac_chunk_bytes;
+        let entries_per_line = BLOCK_BYTES / self.cfg.mac_entry_bytes;
+        self.mac_base + chunk / entries_per_line * BLOCK_BYTES
+    }
+}
+
+impl ProtectionEngine for GuardNnEngine {
+    fn name(&self) -> &'static str {
+        match self.cfg.protection {
+            Protection::ConfidentialityOnly => "GuardNN_C",
+            Protection::ConfidentialityIntegrity => "GuardNN_CI",
+        }
+    }
+
+    fn protects_integrity(&self) -> bool {
+        self.cfg.protection == Protection::ConfidentialityIntegrity
+    }
+
+    fn on_pass_begin(&mut self) {
+        // One Forward-class instruction per pass: the feature-write counter
+        // advances so every pass writes features under a fresh VN.
+        self.counters.next_feature_write();
+    }
+
+    fn on_access(&mut self, block_addr: u64, write: bool, stream: StreamClass) -> Vec<MetaAccess> {
+        // Encryption costs no traffic: the counter block is (address, VN)
+        // with the VN from on-chip state.
+        let _ = stream;
+        if self.cfg.protection == Protection::ConfidentialityOnly {
+            return Vec::new();
+        }
+        // Integrity: touch the MAC line for this chunk. Writes recompute
+        // the MAC, so they allocate without fetching.
+        let mut out = Vec::new();
+        let mac_line = self.mac_line_addr(block_addr);
+        let res = if write {
+            self.mac_cache.write_no_fetch(mac_line)
+        } else {
+            self.mac_cache.access(mac_line, false)
+        };
+        if let Some(victim) = res.writeback {
+            out.push(MetaAccess {
+                addr: victim,
+                write: true,
+            });
+        }
+        if !res.hit {
+            out.push(MetaAccess {
+                addr: mac_line,
+                write: false,
+            });
+        }
+        out
+    }
+
+    fn flush(&mut self) -> Vec<MetaAccess> {
+        self.mac_cache
+            .flush_dirty()
+            .into_iter()
+            .map(|addr| MetaAccess { addr, write: true })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confidentiality_only_is_free() {
+        let mut e = GuardNnEngine::confidentiality_only(64 << 20);
+        for b in 0..10_000u64 {
+            assert!(e
+                .on_access(b * 64, b % 2 == 0, StreamClass::FeatureWrite)
+                .is_empty());
+        }
+        assert!(e.flush().is_empty());
+        assert_eq!(e.name(), "GuardNN_C");
+        assert!(!e.protects_integrity());
+    }
+
+    #[test]
+    fn integrity_traffic_is_small_fraction() {
+        let mut e = GuardNnEngine::confidentiality_and_integrity(256 << 20);
+        let blocks = 100_000u64;
+        let mut meta_bytes = 0u64;
+        for b in 0..blocks {
+            meta_bytes +=
+                e.on_access(b * 64, false, StreamClass::FeatureRead).len() as u64 * BLOCK_BYTES;
+        }
+        meta_bytes += e.flush().len() as u64 * BLOCK_BYTES;
+        let data_bytes = blocks * BLOCK_BYTES;
+        let ratio = meta_bytes as f64 / data_bytes as f64;
+        // One 64B MAC line per 4 KiB of streamed data ≈ 1.6%.
+        assert!(ratio < 0.05, "got {ratio}");
+        assert!(ratio > 0.005, "got {ratio}");
+    }
+
+    #[test]
+    fn guardnn_beats_baseline_traffic() {
+        use crate::baseline::BaselineMee;
+        let mut gnn = GuardNnEngine::confidentiality_and_integrity(256 << 20);
+        let mut bp = BaselineMee::with_defaults(256 << 20);
+        let mut gnn_meta = 0usize;
+        let mut bp_meta = 0usize;
+        for b in 0..50_000u64 {
+            gnn_meta += gnn
+                .on_access(b * 64, b % 3 == 0, StreamClass::FeatureWrite)
+                .len();
+            bp_meta += bp
+                .on_access(b * 64, b % 3 == 0, StreamClass::FeatureWrite)
+                .len();
+        }
+        assert!(
+            (gnn_meta as f64) < bp_meta as f64 / 5.0,
+            "GuardNN {gnn_meta} vs BP {bp_meta}"
+        );
+    }
+
+    #[test]
+    fn pass_begin_advances_feature_vn() {
+        let mut e = GuardNnEngine::confidentiality_and_integrity(1 << 20);
+        let v0 = e.counters().feature_write_vn();
+        e.on_pass_begin();
+        assert_ne!(e.counters().feature_write_vn(), v0);
+    }
+
+    #[test]
+    fn mac_line_mapping() {
+        let e = GuardNnEngine::confidentiality_and_integrity(1 << 20);
+        // Blocks within one 512B chunk share a MAC entry; 8 chunks (4 KiB)
+        // share a MAC line.
+        let l0 = e.mac_line_addr(0);
+        assert_eq!(e.mac_line_addr(511), l0);
+        assert_eq!(e.mac_line_addr(4095), l0);
+        assert_ne!(e.mac_line_addr(4096), l0);
+    }
+
+    #[test]
+    fn dirty_mac_lines_flushed() {
+        let mut e = GuardNnEngine::confidentiality_and_integrity(1 << 20);
+        e.on_access(0, true, StreamClass::FeatureWrite);
+        let flushed = e.flush();
+        assert_eq!(flushed.len(), 1);
+        assert!(flushed[0].write);
+    }
+}

@@ -1,0 +1,233 @@
+//! Trace → protection engine → DRAM simulation driver.
+//!
+//! Runs an accelerator trace through a protection engine, feeds data +
+//! metadata accesses into the DDR4 model, and produces the quantities the
+//! paper reports: memory-traffic increase and normalized execution time.
+
+use crate::{MetaAccess, ProtectionEngine, BLOCK_BYTES};
+use guardnn_dram::{DramConfig, DramStats, DramSystem};
+use guardnn_systolic::PlanTrace;
+
+/// Result of one protected run.
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// Engine name (`"NP"`, `"BP"`, `"GuardNN_C"`, `"GuardNN_CI"`).
+    pub scheme: &'static str,
+    /// Data bytes moved (same for every scheme on the same trace).
+    pub data_bytes: u64,
+    /// Metadata bytes the protection scheme added.
+    pub meta_bytes: u64,
+    /// Merged DRAM statistics.
+    pub dram: DramStats,
+    /// Accelerator compute cycles (from the systolic model).
+    pub compute_cycles: u64,
+    /// End-to-end execution time in nanoseconds: per-pass
+    /// `max(compute, memory)` under double buffering.
+    pub exec_ns: f64,
+}
+
+impl RunSummary {
+    /// Memory-traffic increase relative to the data traffic
+    /// (`0.353` ⇒ "+35.3%", the paper's §III-C metric).
+    pub fn traffic_increase(&self) -> f64 {
+        if self.data_bytes == 0 {
+            0.0
+        } else {
+            self.meta_bytes as f64 / self.data_bytes as f64
+        }
+    }
+
+    /// Execution time normalized to a baseline run (Figure 3's y-axis).
+    pub fn normalized_to(&self, baseline: &RunSummary) -> f64 {
+        self.exec_ns / baseline.exec_ns
+    }
+}
+
+/// Metadata write-backs buffered before draining to DRAM in one batch.
+/// Memory controllers drain writes opportunistically in bursts; issuing
+/// each dirty metadata eviction inline would charge an unrealistic bus
+/// turnaround per line.
+const META_WRITE_BATCH: usize = 32;
+
+/// Runs `trace` under `engine` against the DDR4 model `dram_cfg`, with the
+/// accelerator clocked at `accel_mhz`.
+///
+/// Each pass overlaps compute with memory (double buffering): its wall time
+/// is the max of its compute time and its share of DRAM time. Metadata
+/// *reads* (VN / tree / MAC fetches gate decryption) are interleaved with
+/// the data stream at block granularity; metadata *writes* (dirty
+/// evictions) are coalesced into batches, as a write-draining memory
+/// controller would.
+pub fn run_protected(
+    trace: &PlanTrace,
+    engine: &mut dyn ProtectionEngine,
+    dram_cfg: DramConfig,
+    accel_mhz: u64,
+) -> RunSummary {
+    let mut dram = DramSystem::new(dram_cfg);
+    let mut data_bytes = 0u64;
+    let mut meta_bytes = 0u64;
+    let mut exec_ns = 0.0f64;
+    let mut prev_cycles = 0u64;
+    let mut event_idx = 0usize;
+    let mut pending_writes: Vec<u64> = Vec::with_capacity(META_WRITE_BATCH);
+
+    let dram_ns_per_cycle = 1e3 / dram_cfg.clock_mhz as f64;
+    let accel_ns_per_cycle = 1e3 / accel_mhz as f64;
+
+    fn issue_meta(
+        dram: &mut DramSystem,
+        metas: &[MetaAccess],
+        meta_bytes: &mut u64,
+        pending_writes: &mut Vec<u64>,
+    ) {
+        for m in metas {
+            *meta_bytes += BLOCK_BYTES;
+            if m.write {
+                pending_writes.push(m.addr);
+                if pending_writes.len() >= META_WRITE_BATCH {
+                    pending_writes.sort_unstable();
+                    for addr in pending_writes.drain(..) {
+                        dram.access(addr, true);
+                    }
+                }
+            } else {
+                dram.access(m.addr, false);
+            }
+        }
+    }
+
+    fn drain_writes(dram: &mut DramSystem, pending_writes: &mut Vec<u64>) {
+        pending_writes.sort_unstable();
+        for addr in pending_writes.drain(..) {
+            dram.access(addr, true);
+        }
+    }
+
+    for (pass_idx, pass_perf) in trace.passes().iter().enumerate() {
+        engine.on_pass_begin();
+        while event_idx < trace.events().len() && trace.events()[event_idx].pass == pass_idx {
+            let ev = trace.events()[event_idx];
+            let start_block = ev.addr / BLOCK_BYTES;
+            let end_block = (ev.addr + ev.bytes).div_ceil(BLOCK_BYTES);
+            for block in start_block..end_block {
+                let addr = block * BLOCK_BYTES;
+                dram.access(addr, ev.write);
+                data_bytes += BLOCK_BYTES;
+                let metas = engine.on_access(addr, ev.write, ev.stream.into());
+                issue_meta(&mut dram, &metas, &mut meta_bytes, &mut pending_writes);
+            }
+            event_idx += 1;
+        }
+        // Close out the pass: drain writes, checkpoint DRAM time.
+        drain_writes(&mut dram, &mut pending_writes);
+        let stats = dram.drain_stats();
+        let mem_cycles = stats.total_cycles - prev_cycles;
+        prev_cycles = stats.total_cycles;
+        let mem_ns = mem_cycles as f64 * dram_ns_per_cycle;
+        let compute_ns = pass_perf.compute_cycles as f64 * accel_ns_per_cycle;
+        exec_ns += mem_ns.max(compute_ns);
+    }
+
+    // End-of-run metadata write-back.
+    let metas = engine.flush();
+    issue_meta(&mut dram, &metas, &mut meta_bytes, &mut pending_writes);
+    drain_writes(&mut dram, &mut pending_writes);
+    let stats = dram.drain_stats();
+    exec_ns += (stats.total_cycles - prev_cycles) as f64 * dram_ns_per_cycle;
+    let merged = stats;
+
+    RunSummary {
+        scheme: engine.name(),
+        data_bytes,
+        meta_bytes,
+        dram: merged,
+        compute_cycles: trace.total_compute_cycles(),
+        exec_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::BaselineMee;
+    use crate::guardnn::GuardNnEngine;
+    use crate::none::NoProtection;
+    use guardnn_models::graph::ExecutionPlan;
+    use guardnn_models::layer::{conv, fc};
+    use guardnn_models::Network;
+    use guardnn_systolic::{ArrayConfig, TraceBuilder};
+
+    fn small_trace() -> guardnn_systolic::PlanTrace {
+        let net = Network::new(
+            "small",
+            vec![
+                conv("c1", 32, 8, 16, 3, 1, 1),
+                conv("c2", 32, 16, 16, 3, 1, 1),
+                fc("f1", 1, 16 * 32 * 32, 100),
+            ],
+        );
+        let plan = ExecutionPlan::inference(&net);
+        let tb = TraceBuilder::new(ArrayConfig::test_small(), &plan);
+        tb.build(&plan)
+    }
+
+    #[test]
+    fn np_has_zero_metadata() {
+        let trace = small_trace();
+        let summary = run_protected(
+            &trace,
+            &mut NoProtection::new(),
+            DramConfig::ddr4_2400_16gb(),
+            700,
+        );
+        assert_eq!(summary.meta_bytes, 0);
+        assert_eq!(summary.traffic_increase(), 0.0);
+        assert!(summary.exec_ns > 0.0);
+    }
+
+    #[test]
+    fn ordering_np_le_guardnn_le_bp() {
+        let trace = small_trace();
+        let cfg = DramConfig::ddr4_2400_16gb();
+        let footprint = 1u64 << 30;
+        let np = run_protected(&trace, &mut NoProtection::new(), cfg, 700);
+        let gc = run_protected(
+            &trace,
+            &mut GuardNnEngine::confidentiality_only(footprint),
+            cfg,
+            700,
+        );
+        let gci = run_protected(
+            &trace,
+            &mut GuardNnEngine::confidentiality_and_integrity(footprint),
+            cfg,
+            700,
+        );
+        let bp = run_protected(&trace, &mut BaselineMee::with_defaults(footprint), cfg, 700);
+
+        assert_eq!(gc.meta_bytes, 0);
+        assert!(gci.meta_bytes > 0);
+        assert!(bp.meta_bytes > gci.meta_bytes);
+        assert!(np.exec_ns <= gci.exec_ns + 1e-6);
+        assert!(gci.exec_ns <= bp.exec_ns);
+        assert!(bp.traffic_increase() > gci.traffic_increase());
+    }
+
+    #[test]
+    fn data_bytes_identical_across_schemes() {
+        let trace = small_trace();
+        let cfg = DramConfig::ddr4_2400_16gb();
+        let np = run_protected(&trace, &mut NoProtection::new(), cfg, 700);
+        let bp = run_protected(&trace, &mut BaselineMee::with_defaults(1 << 30), cfg, 700);
+        assert_eq!(np.data_bytes, bp.data_bytes);
+    }
+
+    #[test]
+    fn normalization() {
+        let trace = small_trace();
+        let cfg = DramConfig::ddr4_2400_16gb();
+        let np = run_protected(&trace, &mut NoProtection::new(), cfg, 700);
+        assert!((np.normalized_to(&np) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,197 @@
+//! GuardNN's on-chip version-number counter file.
+//!
+//! The paper's key observation (§II-D): a DNN accelerator writes the output
+//! features of a layer a fixed number of times per input, so the version
+//! number for feature writes can be built from two small on-chip counters —
+//! `CTR_IN` (incremented per input by `SetInput`) and `CTR_F,W` (reset per
+//! input, incremented after each `Forward` that writes features). Weights
+//! use `CTR_W` (incremented by `SetWeight` / training updates). For *reads*
+//! the untrusted host supplies `CTR_F,R` per address range via `SetReadCTR`;
+//! a wrong value only garbles decryption, never leaks plaintext.
+
+use std::collections::BTreeMap;
+
+/// The on-chip counters and the VN construction rules.
+#[derive(Clone, Debug, Default)]
+pub struct VersionCounters {
+    /// Input counter (bumped by `SetInput`).
+    ctr_in: u32,
+    /// Feature-write counter (reset by `SetInput`, bumped per compute pass).
+    ctr_fw: u32,
+    /// Weight counter (bumped by `SetWeight` / weight updates).
+    ctr_w: u32,
+    /// Host-provided read counters per address range (`SetReadCTR`):
+    /// start → (end, vn).
+    read_ctrs: BTreeMap<u64, (u64, u64)>,
+}
+
+impl VersionCounters {
+    /// Fresh counter file, as after `InitSession` (all zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `SetInput`: bump the input counter and reset the feature-write
+    /// counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `CTR_IN` would wrap (see
+    /// [`VersionCounters::next_feature_write`]).
+    pub fn next_input(&mut self) {
+        self.ctr_in = self
+            .ctr_in
+            .checked_add(1)
+            .expect("CTR_IN exhausted: session must be re-keyed");
+        self.ctr_fw = 0;
+    }
+
+    /// Advance the feature-write counter after a compute pass that wrote
+    /// features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counter would wrap — reusing a (address, VN) pair
+    /// under the same key breaks CTR-mode confidentiality, so the session
+    /// must be re-keyed (`InitSession`) before 2³² passes per input. The
+    /// same guard applies to [`VersionCounters::next_input`] and
+    /// [`VersionCounters::next_weight`].
+    pub fn next_feature_write(&mut self) {
+        self.ctr_fw = self
+            .ctr_fw
+            .checked_add(1)
+            .expect("CTR_F,W exhausted: session must be re-keyed");
+    }
+
+    /// `SetWeight` or a weight update: bump the weight counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `CTR_W` would wrap (see
+    /// [`VersionCounters::next_feature_write`]).
+    pub fn next_weight(&mut self) {
+        self.ctr_w = self
+            .ctr_w
+            .checked_add(1)
+            .expect("CTR_W exhausted: session must be re-keyed");
+    }
+
+    /// VN used to *write* features right now: `CTR_IN ‖ CTR_F,W`.
+    pub fn feature_write_vn(&self) -> u64 {
+        ((self.ctr_in as u64) << 32) | self.ctr_fw as u64
+    }
+
+    /// VN used to write weights (paper: constant during inference; the
+    /// weight counter distinguishes successive `SetWeight`/update epochs).
+    pub fn weight_vn(&self) -> u64 {
+        self.ctr_w as u64
+    }
+
+    /// `SetReadCTR`: the host declares the VN for reading `[start, end)`.
+    /// Untrusted input — affects decryption only.
+    pub fn set_read_ctr(&mut self, start: u64, end: u64, vn: u64) {
+        assert!(start < end, "empty SetReadCTR range");
+        self.read_ctrs.insert(start, (end, vn));
+    }
+
+    /// VN for reading a feature address, if the host declared one.
+    pub fn feature_read_vn(&self, addr: u64) -> Option<u64> {
+        let (&start, &(end, vn)) = self.read_ctrs.range(..=addr).next_back()?;
+        (addr >= start && addr < end).then_some(vn)
+    }
+
+    /// Current raw counter values `(CTR_IN, CTR_F,W, CTR_W)`.
+    pub fn raw(&self) -> (u32, u32, u32) {
+        (self.ctr_in, self.ctr_fw, self.ctr_w)
+    }
+
+    /// Test-only constructor starting at a given `CTR_F,W` value (used to
+    /// reach the exhaustion boundary without 2³² calls).
+    #[cfg(test)]
+    fn at_feature_count(ctr_fw: u32) -> Self {
+        Self {
+            ctr_fw,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_vns_unique_across_inputs_and_passes() {
+        let mut vc = VersionCounters::new();
+        let mut seen = std::collections::HashSet::new();
+        for _input in 0..4 {
+            vc.next_input();
+            for _pass in 0..10 {
+                assert!(seen.insert(vc.feature_write_vn()), "VN reuse");
+                vc.next_feature_write();
+            }
+        }
+    }
+
+    #[test]
+    fn new_input_resets_feature_counter() {
+        let mut vc = VersionCounters::new();
+        vc.next_input();
+        vc.next_feature_write();
+        vc.next_feature_write();
+        let before = vc.feature_write_vn();
+        vc.next_input();
+        let after = vc.feature_write_vn();
+        assert_ne!(before, after);
+        assert_eq!(after & 0xFFFF_FFFF, 0, "CTR_F,W reset to zero");
+    }
+
+    #[test]
+    fn weight_vn_constant_until_set_weight() {
+        let mut vc = VersionCounters::new();
+        vc.next_weight();
+        let vn = vc.weight_vn();
+        vc.next_input();
+        vc.next_feature_write();
+        assert_eq!(
+            vc.weight_vn(),
+            vn,
+            "feature activity must not disturb weight VN"
+        );
+        vc.next_weight();
+        assert_ne!(vc.weight_vn(), vn);
+    }
+
+    #[test]
+    fn read_ctr_range_lookup() {
+        let mut vc = VersionCounters::new();
+        vc.set_read_ctr(0x1000, 0x2000, 7);
+        vc.set_read_ctr(0x2000, 0x3000, 9);
+        assert_eq!(vc.feature_read_vn(0x1000), Some(7));
+        assert_eq!(vc.feature_read_vn(0x1FFF), Some(7));
+        assert_eq!(vc.feature_read_vn(0x2000), Some(9));
+        assert_eq!(vc.feature_read_vn(0x3000), None);
+        assert_eq!(vc.feature_read_vn(0xFFF), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty SetReadCTR range")]
+    fn rejects_empty_range() {
+        let mut vc = VersionCounters::new();
+        vc.set_read_ctr(0x1000, 0x1000, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "CTR_F,W exhausted")]
+    fn feature_counter_exhaustion_detected() {
+        let mut vc = VersionCounters::at_feature_count(u32::MAX);
+        vc.next_feature_write();
+    }
+
+    #[test]
+    fn feature_counter_boundary_ok() {
+        let mut vc = VersionCounters::at_feature_count(u32::MAX - 1);
+        vc.next_feature_write(); // reaches MAX without panicking
+        assert_eq!(vc.raw().1, u32::MAX);
+    }
+}

@@ -1,0 +1,495 @@
+//! Data-flow-graph expansion into inference and training passes.
+//!
+//! Figure 2 of the paper shows the two DFG shapes GuardNN's version-number
+//! scheme exploits: inference reads weights `w` and features `f` and writes
+//! the next feature; training additionally flows gradients `g` backwards and
+//! produces updated weights `w*`. This module expands a [`Network`] into the
+//! ordered list of *passes* the accelerator executes; each pass is one
+//! `Forward`-class instruction with a well-defined memory episode
+//! (weights read, features read, features written).
+//!
+//! # Example
+//!
+//! ```
+//! use guardnn_models::graph::ExecutionPlan;
+//! use guardnn_models::zoo;
+//!
+//! let plan = ExecutionPlan::inference(&zoo::alexnet());
+//! assert_eq!(plan.passes().len(), zoo::alexnet().layers().len());
+//! ```
+
+use crate::layer::{Gemm, Layer};
+use crate::Network;
+
+/// The role of one pass in the DFG.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PassKind {
+    /// Forward computation of a layer (Figure 2a edges `f_i`).
+    Forward,
+    /// Input-gradient computation `dX = dY ⊗ W` (Figure 2b edges `g_i`).
+    BackwardData,
+    /// Weight-gradient computation `dW = dY ⊗ X`.
+    BackwardWeight,
+    /// Optimizer step: `W ← W - η·dW` (produces `w*` in Figure 2b).
+    WeightUpdate,
+}
+
+/// One scheduled pass over one layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pass {
+    /// Index into [`Network::layers`].
+    pub layer: usize,
+    /// What this pass computes.
+    pub kind: PassKind,
+}
+
+/// Byte-level memory episode of a single pass (excluding on-chip reuse —
+/// the systolic simulator applies tiling on top of this).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryEpisode {
+    /// Bytes of weights (or gathered embedding rows) read from DRAM.
+    pub weight_read: u64,
+    /// Bytes of input features / gradients read from DRAM.
+    pub feature_read: u64,
+    /// Bytes of output features / gradients written to DRAM.
+    pub feature_write: u64,
+    /// Bytes of weights written back (weight updates, embedding grads).
+    pub weight_write: u64,
+}
+
+impl MemoryEpisode {
+    /// Total bytes moved.
+    pub fn total(&self) -> u64 {
+        self.weight_read + self.feature_read + self.feature_write + self.weight_write
+    }
+}
+
+/// An ordered execution plan: the passes the host scheduler issues to the
+/// accelerator for one input (inference) or one mini-batch step (training).
+#[derive(Clone, Debug)]
+pub struct ExecutionPlan {
+    network: Network,
+    passes: Vec<Pass>,
+    batch: usize,
+    training: bool,
+}
+
+impl ExecutionPlan {
+    /// Builds the inference plan: one forward pass per layer, batch 1
+    /// (vision-style latency-bound serving; DLRM's internal batching is
+    /// already part of its layer shapes).
+    pub fn inference(network: &Network) -> Self {
+        let passes = (0..network.layers().len())
+            .map(|layer| Pass {
+                layer,
+                kind: PassKind::Forward,
+            })
+            .collect();
+        Self {
+            network: network.clone(),
+            passes,
+            batch: 1,
+            training: false,
+        }
+    }
+
+    /// Builds the training plan for one mini-batch of `batch` samples:
+    /// forward through all layers, then for each layer in reverse a
+    /// data-gradient pass (except the first layer) and, for weighted layers,
+    /// a weight-gradient pass followed by a weight update.
+    pub fn training(network: &Network, batch: usize) -> Self {
+        assert!(batch > 0, "batch must be positive");
+        let n = network.layers().len();
+        let mut passes = Vec::with_capacity(3 * n);
+        for layer in 0..n {
+            passes.push(Pass {
+                layer,
+                kind: PassKind::Forward,
+            });
+        }
+        for layer in (0..n).rev() {
+            let has_weights = network.layers()[layer].has_weights();
+            if layer > 0 {
+                passes.push(Pass {
+                    layer,
+                    kind: PassKind::BackwardData,
+                });
+            }
+            if has_weights {
+                passes.push(Pass {
+                    layer,
+                    kind: PassKind::BackwardWeight,
+                });
+                passes.push(Pass {
+                    layer,
+                    kind: PassKind::WeightUpdate,
+                });
+            }
+        }
+        Self {
+            network: network.clone(),
+            passes,
+            batch,
+            training: true,
+        }
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The scheduled passes in order.
+    pub fn passes(&self) -> &[Pass] {
+        &self.passes
+    }
+
+    /// Mini-batch size (1 for inference).
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Whether this is a training plan.
+    pub fn is_training(&self) -> bool {
+        self.training
+    }
+
+    /// The layer a pass operates on.
+    pub fn layer_of(&self, pass: &Pass) -> &Layer {
+        &self.network.layers()[pass.layer]
+    }
+
+    /// The memory episode of `pass` with `bytes_per_elem`-sized elements
+    /// (1 for int8 inference, 2 for bf16 training).
+    pub fn episode(&self, pass: &Pass, bytes_per_elem: u64) -> MemoryEpisode {
+        let l = self.layer_of(pass);
+        let b = self.batch as u64;
+        let w = l.weight_elems_touched() * bytes_per_elem;
+        let w_full = l.weight_elems() * bytes_per_elem;
+        let fin = l.input_elems() * bytes_per_elem * b;
+        let fout = l.output_elems() * bytes_per_elem * b;
+        match pass.kind {
+            PassKind::Forward => MemoryEpisode {
+                weight_read: w,
+                feature_read: fin,
+                feature_write: fout,
+                weight_write: 0,
+            },
+            // dX = dY ⊗ W: read output-side gradient + weights, write
+            // input-side gradient.
+            PassKind::BackwardData => MemoryEpisode {
+                weight_read: w,
+                feature_read: fout,
+                feature_write: fin,
+                weight_write: 0,
+            },
+            // dW = dY ⊗ X: read output gradient + stashed forward input,
+            // write the weight gradient.
+            PassKind::BackwardWeight => MemoryEpisode {
+                weight_read: 0,
+                feature_read: fout + fin,
+                feature_write: 0,
+                weight_write: w,
+            },
+            // W ← W − η·dW: read W and dW, write W.
+            PassKind::WeightUpdate => MemoryEpisode {
+                weight_read: w_full + w,
+                feature_read: 0,
+                feature_write: 0,
+                weight_write: w_full,
+            },
+        }
+    }
+
+    /// The GEMM executed by `pass` on the systolic array, if the layer maps
+    /// to one. Backward GEMM dimensions follow the standard transposed
+    /// forms; the batch dimension folds into M.
+    pub fn gemm(&self, pass: &Pass) -> Option<Gemm> {
+        let l = self.layer_of(pass);
+        let g = l.to_gemm()?;
+        let b = self.batch;
+        match pass.kind {
+            PassKind::Forward => Some(Gemm {
+                m: g.m * b,
+                k: g.k,
+                n: g.n,
+            }),
+            // dA = dC·Bᵀ : (m×n)·(n×k)
+            PassKind::BackwardData => Some(Gemm {
+                m: g.m * b,
+                k: g.n,
+                n: g.k,
+            }),
+            // dB = Aᵀ·dC : (k×m)·(m×n)
+            PassKind::BackwardWeight => Some(Gemm {
+                m: g.k,
+                k: g.m * b,
+                n: g.n,
+            }),
+            // Vector update, no MXU work.
+            PassKind::WeightUpdate => None,
+        }
+    }
+
+    /// Total bytes moved across all passes.
+    pub fn total_bytes(&self, bytes_per_elem: u64) -> u64 {
+        self.passes
+            .iter()
+            .map(|p| self.episode(p, bytes_per_elem).total())
+            .sum()
+    }
+
+    /// Which operand class each pass *writes*, for version-number
+    /// assignment: `true` if the pass writes weights rather than features.
+    pub fn writes_weights(&self, pass: &Pass) -> bool {
+        matches!(pass.kind, PassKind::WeightUpdate | PassKind::BackwardWeight)
+    }
+
+    /// Counts passes of a given kind.
+    pub fn count(&self, kind: PassKind) -> usize {
+        self.passes.iter().filter(|p| p.kind == kind).count()
+    }
+}
+
+/// Role of a DFG edge, used by the VN scheme (Figure 2): features and the
+/// gradients that mirror them can share VN structure because they live at
+/// different addresses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeClass {
+    /// Input/activation features `f_i`.
+    Feature,
+    /// Backward gradients `g_i`.
+    Gradient,
+    /// Weights `w_i`.
+    Weight,
+}
+
+impl Pass {
+    /// The class of tensor this pass writes.
+    pub fn written_edge_class(&self) -> EdgeClass {
+        match self.kind {
+            PassKind::Forward => EdgeClass::Feature,
+            PassKind::BackwardData => EdgeClass::Gradient,
+            PassKind::BackwardWeight | PassKind::WeightUpdate => EdgeClass::Weight,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{conv, fc};
+    use crate::zoo;
+
+    fn tiny() -> Network {
+        Network::new(
+            "tiny",
+            vec![conv("c1", 8, 3, 4, 3, 1, 1), fc("f1", 1, 4 * 8 * 8, 10)],
+        )
+    }
+
+    #[test]
+    fn inference_plan_is_one_forward_per_layer() {
+        let plan = ExecutionPlan::inference(&tiny());
+        assert_eq!(plan.passes().len(), 2);
+        assert!(plan.passes().iter().all(|p| p.kind == PassKind::Forward));
+        assert!(!plan.is_training());
+    }
+
+    #[test]
+    fn training_plan_structure() {
+        let plan = ExecutionPlan::training(&tiny(), 4);
+        // fwd c1, fwd f1, bwd-data f1, bwd-w f1, update f1, bwd-w c1, update c1.
+        // (c1 is layer 0 → no backward-data pass.)
+        assert_eq!(plan.count(PassKind::Forward), 2);
+        assert_eq!(plan.count(PassKind::BackwardData), 1);
+        assert_eq!(plan.count(PassKind::BackwardWeight), 2);
+        assert_eq!(plan.count(PassKind::WeightUpdate), 2);
+        assert!(plan.is_training());
+    }
+
+    #[test]
+    fn backward_follows_forward() {
+        let plan = ExecutionPlan::training(&tiny(), 1);
+        let first_backward = plan
+            .passes()
+            .iter()
+            .position(|p| p.kind != PassKind::Forward)
+            .expect("has backward");
+        assert!(plan.passes()[..first_backward]
+            .iter()
+            .all(|p| p.kind == PassKind::Forward));
+    }
+
+    #[test]
+    fn backward_gemms_preserve_macs() {
+        let plan = ExecutionPlan::training(&tiny(), 2);
+        for pass in plan.passes() {
+            if matches!(pass.kind, PassKind::BackwardData | PassKind::BackwardWeight) {
+                if let Some(g) = plan.gemm(pass) {
+                    let fwd = plan
+                        .gemm(&Pass {
+                            layer: pass.layer,
+                            kind: PassKind::Forward,
+                        })
+                        .expect("forward gemm");
+                    assert_eq!(g.macs(), fwd.macs(), "layer {}", pass.layer);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scales_features_not_weights() {
+        let net = tiny();
+        let p1 = ExecutionPlan::training(&net, 1);
+        let p4 = ExecutionPlan::training(&net, 4);
+        let fwd = Pass {
+            layer: 0,
+            kind: PassKind::Forward,
+        };
+        let e1 = p1.episode(&fwd, 1);
+        let e4 = p4.episode(&fwd, 1);
+        assert_eq!(e4.feature_read, 4 * e1.feature_read);
+        assert_eq!(e4.weight_read, e1.weight_read);
+    }
+
+    #[test]
+    fn training_moves_more_bytes_than_inference() {
+        let net = zoo::alexnet();
+        let inf = ExecutionPlan::inference(&net).total_bytes(1);
+        let tr = ExecutionPlan::training(&net, 1).total_bytes(1);
+        assert!(tr > 2 * inf, "training {tr} vs inference {inf}");
+    }
+
+    #[test]
+    fn edge_classes() {
+        assert_eq!(
+            Pass {
+                layer: 0,
+                kind: PassKind::Forward
+            }
+            .written_edge_class(),
+            EdgeClass::Feature
+        );
+        assert_eq!(
+            Pass {
+                layer: 0,
+                kind: PassKind::BackwardData
+            }
+            .written_edge_class(),
+            EdgeClass::Gradient
+        );
+        assert_eq!(
+            Pass {
+                layer: 0,
+                kind: PassKind::WeightUpdate
+            }
+            .written_edge_class(),
+            EdgeClass::Weight
+        );
+    }
+
+    #[test]
+    fn weight_update_reads_and_writes_full_table() {
+        let net = tiny();
+        let plan = ExecutionPlan::training(&net, 1);
+        let upd = Pass {
+            layer: 1,
+            kind: PassKind::WeightUpdate,
+        };
+        let e = plan.episode(&upd, 1);
+        let w = net.layers()[1].weight_elems();
+        assert_eq!(e.weight_write, w);
+        assert!(e.weight_read >= w);
+    }
+}
+
+#[cfg(test)]
+mod episode_tests {
+    //! Additional episode-accounting checks for the operator corner cases.
+
+    use super::*;
+    use crate::layer::dwconv;
+    use crate::{Layer, Op};
+
+    #[test]
+    fn embedding_forward_reads_only_gathered_rows() {
+        let net = crate::Network::new(
+            "emb",
+            vec![Layer::new(
+                "e",
+                Op::Embedding {
+                    rows: 1_000_000,
+                    dim: 64,
+                    lookups: 8,
+                },
+            )],
+        );
+        let plan = ExecutionPlan::inference(&net);
+        let e = plan.episode(&plan.passes()[0], 1);
+        assert_eq!(e.weight_read, 8 * 64, "gathers, not the whole table");
+        assert_eq!(e.feature_write, 8 * 64);
+    }
+
+    #[test]
+    fn depthwise_backward_weight_episode() {
+        let net = crate::Network::new("dw", vec![dwconv("d", 8, 4, 3, 1, 1)]);
+        let plan = ExecutionPlan::training(&net, 1);
+        let bw = plan
+            .passes()
+            .iter()
+            .find(|p| p.kind == PassKind::BackwardWeight)
+            .copied()
+            .expect("depthwise has weights");
+        let e = plan.episode(&bw, 1);
+        // dW is only kh·kw·c = 36 elements.
+        assert_eq!(e.weight_write, 36);
+        assert!(e.feature_read > 0);
+    }
+
+    #[test]
+    fn attn_matmul_has_no_weight_traffic() {
+        let net = crate::Network::new(
+            "attn",
+            vec![Layer::new(
+                "a",
+                Op::AttnMatmul(crate::Gemm { m: 16, k: 8, n: 16 }),
+            )],
+        );
+        let plan = ExecutionPlan::inference(&net);
+        let e = plan.episode(&plan.passes()[0], 1);
+        assert_eq!(e.weight_read, 0);
+        // Reads both operand matrices as features.
+        assert_eq!(e.feature_read, (16 * 8 + 8 * 16) as u64);
+    }
+
+    #[test]
+    fn training_plan_skips_backward_weight_for_weightless_layers() {
+        let net = crate::Network::new(
+            "mix",
+            vec![
+                crate::layer::fc("f", 1, 16, 8),
+                Layer::new(
+                    "relu",
+                    Op::Eltwise {
+                        elems: 8,
+                        reads_per_elem: 1,
+                    },
+                ),
+            ],
+        );
+        let plan = ExecutionPlan::training(&net, 1);
+        let wgrad_layers: Vec<usize> = plan
+            .passes()
+            .iter()
+            .filter(|p| p.kind == PassKind::BackwardWeight)
+            .map(|p| p.layer)
+            .collect();
+        assert_eq!(
+            wgrad_layers,
+            vec![0],
+            "only the FC layer gets a weight-gradient pass"
+        );
+    }
+}

@@ -1,0 +1,373 @@
+//! Layer operators with shape, MAC, and byte accounting.
+
+/// A 2-D convolution specification.
+///
+/// `in_h`/`in_w` are the spatial input dimensions *before* padding. Output
+/// dimensions follow the usual floor formula.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ConvSpec {
+    /// Input channels.
+    pub in_c: usize,
+    /// Output channels.
+    pub out_c: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Depthwise convolution (each input channel convolved independently;
+    /// `out_c` must equal `in_c`).
+    pub depthwise: bool,
+}
+
+impl ConvSpec {
+    /// Output spatial height.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad - self.kh) / self.stride + 1
+    }
+
+    /// Output spatial width.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad - self.kw) / self.stride + 1
+    }
+}
+
+/// A general matrix multiply `C[m×n] = A[m×k] · B[k×n]`, the canonical
+/// operation a systolic array executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Gemm {
+    /// Rows of the output (activation rows).
+    pub m: usize,
+    /// Inner/contraction dimension.
+    pub k: usize,
+    /// Columns of the output (weight columns).
+    pub n: usize,
+}
+
+impl Gemm {
+    /// Multiply-accumulate count.
+    pub fn macs(&self) -> u64 {
+        self.m as u64 * self.k as u64 * self.n as u64
+    }
+}
+
+/// The operator computed by a [`Layer`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// 2-D convolution (maps to an im2col GEMM on the accelerator).
+    Conv(ConvSpec),
+    /// Dense matrix multiply with a *weight* operand: fully-connected layers
+    /// and attention projections.
+    Gemm(Gemm),
+    /// Dense matrix multiply between two *activation* operands (attention
+    /// score and context matmuls): same compute as [`Op::Gemm`] but no
+    /// parameters — both inputs are features read from DRAM.
+    AttnMatmul(Gemm),
+    /// Embedding-table gather: `lookups` rows of `dim` elements out of a
+    /// `rows × dim` table (DLRM, BERT token embeddings).
+    Embedding {
+        /// Table rows (vocabulary size).
+        rows: usize,
+        /// Embedding dimension.
+        dim: usize,
+        /// Number of gathered rows per input.
+        lookups: usize,
+    },
+    /// Elementwise / data-movement operator (pooling, activation,
+    /// normalization, residual add): no MACs on the MXU, but it moves
+    /// feature bytes.
+    Eltwise {
+        /// Output element count.
+        elems: usize,
+        /// How many input elements are read per output element (1 for
+        /// activations, 2 for residual adds, k² for pooling windows counts
+        /// as 1 here because pooled inputs are streamed once).
+        reads_per_elem: usize,
+    },
+}
+
+/// One layer of a network: a named operator.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Layer {
+    /// Layer name, unique within a network (e.g. `"conv3_2"`).
+    pub name: String,
+    /// The operator.
+    pub op: Op,
+}
+
+impl Layer {
+    /// Creates a layer.
+    pub fn new(name: impl Into<String>, op: Op) -> Self {
+        Self {
+            name: name.into(),
+            op,
+        }
+    }
+
+    /// Multiply-accumulate operations for one forward pass (batch 1).
+    pub fn macs(&self) -> u64 {
+        match &self.op {
+            Op::Conv(c) => {
+                let per_pos = if c.depthwise {
+                    c.kh as u64 * c.kw as u64 * c.in_c as u64
+                } else {
+                    c.kh as u64 * c.kw as u64 * c.in_c as u64 * c.out_c as u64
+                };
+                per_pos * c.out_h() as u64 * c.out_w() as u64
+            }
+            Op::Gemm(g) | Op::AttnMatmul(g) => g.macs(),
+            Op::Embedding { .. } | Op::Eltwise { .. } => 0,
+        }
+    }
+
+    /// Number of weight (parameter) elements.
+    pub fn weight_elems(&self) -> u64 {
+        match &self.op {
+            Op::Conv(c) => {
+                if c.depthwise {
+                    c.kh as u64 * c.kw as u64 * c.in_c as u64
+                } else {
+                    c.kh as u64 * c.kw as u64 * c.in_c as u64 * c.out_c as u64
+                }
+            }
+            Op::Gemm(g) => g.k as u64 * g.n as u64,
+            Op::AttnMatmul(_) => 0,
+            Op::Embedding { rows, dim, .. } => *rows as u64 * *dim as u64,
+            Op::Eltwise { .. } => 0,
+        }
+    }
+
+    /// Input feature elements consumed (batch 1).
+    pub fn input_elems(&self) -> u64 {
+        match &self.op {
+            Op::Conv(c) => c.in_c as u64 * c.in_h as u64 * c.in_w as u64,
+            Op::Gemm(g) => g.m as u64 * g.k as u64,
+            // Both operands are activations streamed from DRAM.
+            Op::AttnMatmul(g) => g.m as u64 * g.k as u64 + g.k as u64 * g.n as u64,
+            // Embedding input is the index vector; negligible next to the
+            // gathered rows, which we count as weight traffic on read.
+            Op::Embedding { lookups, .. } => *lookups as u64,
+            Op::Eltwise {
+                elems,
+                reads_per_elem,
+            } => (*elems * *reads_per_elem) as u64,
+        }
+    }
+
+    /// Output feature elements produced (batch 1).
+    pub fn output_elems(&self) -> u64 {
+        match &self.op {
+            Op::Conv(c) => c.out_c as u64 * c.out_h() as u64 * c.out_w() as u64,
+            Op::Gemm(g) | Op::AttnMatmul(g) => g.m as u64 * g.n as u64,
+            Op::Embedding { dim, lookups, .. } => (*dim * *lookups) as u64,
+            Op::Eltwise { elems, .. } => *elems as u64,
+        }
+    }
+
+    /// Weight elements actually *touched* per forward pass. Differs from
+    /// [`Layer::weight_elems`] only for embeddings, where a pass gathers
+    /// `lookups` rows rather than reading the whole table.
+    pub fn weight_elems_touched(&self) -> u64 {
+        match &self.op {
+            Op::Embedding { dim, lookups, .. } => (*dim * *lookups) as u64,
+            _ => self.weight_elems(),
+        }
+    }
+
+    /// The canonical GEMM this layer maps to on a systolic array, if any.
+    ///
+    /// Convolutions use the im2col mapping: `M = out_h·out_w`,
+    /// `K = kh·kw·in_c`, `N = out_c`. Depthwise convolutions execute one
+    /// degenerate GEMM per channel; we fold that into a single GEMM with
+    /// `K = kh·kw` and `M = out_h·out_w·in_c` which preserves MAC count and
+    /// the low utilization such layers exhibit on big arrays.
+    pub fn to_gemm(&self) -> Option<Gemm> {
+        match &self.op {
+            Op::Conv(c) => {
+                if c.depthwise {
+                    Some(Gemm {
+                        m: c.out_h() * c.out_w() * c.in_c,
+                        k: c.kh * c.kw,
+                        n: 1,
+                    })
+                } else {
+                    Some(Gemm {
+                        m: c.out_h() * c.out_w(),
+                        k: c.kh * c.kw * c.in_c,
+                        n: c.out_c,
+                    })
+                }
+            }
+            Op::Gemm(g) | Op::AttnMatmul(g) => Some(*g),
+            Op::Embedding { .. } | Op::Eltwise { .. } => None,
+        }
+    }
+
+    /// Whether this layer has trainable parameters.
+    pub fn has_weights(&self) -> bool {
+        self.weight_elems() > 0
+    }
+}
+
+/// Convenience constructor for a square-kernel convolution layer.
+pub fn conv(
+    name: impl Into<String>,
+    in_hw: usize,
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> Layer {
+    Layer::new(
+        name,
+        Op::Conv(ConvSpec {
+            in_c,
+            out_c,
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+            in_h: in_hw,
+            in_w: in_hw,
+            depthwise: false,
+        }),
+    )
+}
+
+/// Convenience constructor for a depthwise convolution layer.
+pub fn dwconv(
+    name: impl Into<String>,
+    in_hw: usize,
+    c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> Layer {
+    Layer::new(
+        name,
+        Op::Conv(ConvSpec {
+            in_c: c,
+            out_c: c,
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+            in_h: in_hw,
+            in_w: in_hw,
+            depthwise: true,
+        }),
+    )
+}
+
+/// Convenience constructor for a fully-connected layer (`m` activation rows).
+pub fn fc(name: impl Into<String>, m: usize, k: usize, n: usize) -> Layer {
+    Layer::new(name, Op::Gemm(Gemm { m, k, n }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_output_dims() {
+        // VGG conv1: 224x224, k=3, pad=1, stride=1 → 224x224.
+        let c = ConvSpec {
+            in_c: 3,
+            out_c: 64,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+            in_h: 224,
+            in_w: 224,
+            depthwise: false,
+        };
+        assert_eq!(c.out_h(), 224);
+        // AlexNet conv1: 224x224, k=11, stride=4, pad=2 → 55x55.
+        let c = ConvSpec {
+            in_c: 3,
+            out_c: 96,
+            kh: 11,
+            kw: 11,
+            stride: 4,
+            pad: 2,
+            in_h: 224,
+            in_w: 224,
+            depthwise: false,
+        };
+        assert_eq!(c.out_h(), 55);
+    }
+
+    #[test]
+    fn conv_macs_match_hand_count() {
+        let l = conv("c", 224, 3, 64, 3, 1, 1);
+        // 3*3*3*64 per position × 224² positions.
+        assert_eq!(l.macs(), 3 * 3 * 3 * 64 * 224 * 224);
+        assert_eq!(l.weight_elems(), 3 * 3 * 3 * 64);
+    }
+
+    #[test]
+    fn depthwise_macs() {
+        let l = dwconv("dw", 112, 32, 3, 1, 1);
+        assert_eq!(l.macs(), 3 * 3 * 32 * 112 * 112);
+        assert_eq!(l.weight_elems(), 3 * 3 * 32);
+    }
+
+    #[test]
+    fn gemm_mapping_preserves_macs() {
+        for l in [
+            conv("a", 56, 64, 128, 3, 1, 1),
+            dwconv("b", 28, 256, 3, 2, 1),
+            fc("c", 4, 512, 1000),
+        ] {
+            let g = l.to_gemm().expect("mappable");
+            assert_eq!(g.macs(), l.macs(), "layer {}", l.name);
+        }
+    }
+
+    #[test]
+    fn embedding_accounting() {
+        let l = Layer::new(
+            "emb",
+            Op::Embedding {
+                rows: 1_000_000,
+                dim: 64,
+                lookups: 26,
+            },
+        );
+        assert_eq!(l.macs(), 0);
+        assert_eq!(l.weight_elems(), 64_000_000);
+        assert_eq!(l.weight_elems_touched(), 26 * 64);
+        assert_eq!(l.output_elems(), 26 * 64);
+        assert!(l.to_gemm().is_none());
+    }
+
+    #[test]
+    fn eltwise_accounting() {
+        let l = Layer::new(
+            "relu",
+            Op::Eltwise {
+                elems: 1000,
+                reads_per_elem: 1,
+            },
+        );
+        assert_eq!(l.macs(), 0);
+        assert_eq!(l.input_elems(), 1000);
+        let add = Layer::new(
+            "residual",
+            Op::Eltwise {
+                elems: 1000,
+                reads_per_elem: 2,
+            },
+        );
+        assert_eq!(add.input_elems(), 2000);
+    }
+}

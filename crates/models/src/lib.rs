@@ -1,0 +1,34 @@
+//! Layer-level DNN model zoo for the GuardNN experiments.
+//!
+//! The paper evaluates nine networks — AlexNet, VGG-16, GoogleNet,
+//! ResNet-50, MobileNetV1, ViT-Base, BERT-Base, DLRM and wav2vec2 — on a
+//! simulated TPU-v1-class accelerator. Performance and memory-protection
+//! behaviour depend only on tensor *shapes* and the resulting access
+//! pattern, never on values (a property the paper relies on for side-channel
+//! freedom), so the zoo describes each network as an ordered list of shaped
+//! layers.
+//!
+//! * [`layer`] — layer operators (convolution, GEMM, embedding, elementwise)
+//!   with MAC / byte accounting and a canonical GEMM mapping used by the
+//!   systolic-array simulator.
+//! * [`network`] — a named sequence of layers with aggregate statistics.
+//! * [`zoo`] — constructors for the nine paper networks.
+//! * [`graph`] — data-flow-graph expansion into inference and training
+//!   passes (Figure 2 of the paper), the input to trace generation.
+//!
+//! # Example
+//!
+//! ```
+//! use guardnn_models::zoo;
+//!
+//! let vgg = zoo::vgg16();
+//! assert!(vgg.param_count() > 130_000_000); // ~138M parameters
+//! ```
+
+pub mod graph;
+pub mod layer;
+pub mod network;
+pub mod zoo;
+
+pub use layer::{ConvSpec, Gemm, Layer, Op};
+pub use network::Network;

@@ -1,0 +1,121 @@
+//! A named network: an ordered list of layers plus aggregate statistics.
+
+use crate::layer::Layer;
+
+/// A DNN described as an ordered list of [`Layer`]s.
+///
+/// # Example
+///
+/// ```
+/// use guardnn_models::{layer, Network};
+///
+/// let net = Network::new("tiny", vec![layer::fc("fc1", 1, 784, 100), layer::fc("fc2", 1, 100, 10)]);
+/// assert_eq!(net.param_count(), 784 * 100 + 100 * 10);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Network {
+    name: String,
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Creates a network from its layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two layers share a name (names key DFG tensors).
+    pub fn new(name: impl Into<String>, layers: Vec<Layer>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        for l in &layers {
+            assert!(
+                seen.insert(l.name.clone()),
+                "duplicate layer name {}",
+                l.name
+            );
+        }
+        Self {
+            name: name.into(),
+            layers,
+        }
+    }
+
+    /// The network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layers in execution order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&self) -> u64 {
+        self.layers.iter().map(Layer::weight_elems).sum()
+    }
+
+    /// Total multiply-accumulate operations per forward pass (batch 1).
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(Layer::macs).sum()
+    }
+
+    /// Total feature elements written per forward pass (batch 1).
+    pub fn total_feature_elems(&self) -> u64 {
+        self.layers.iter().map(Layer::output_elems).sum()
+    }
+
+    /// Number of layers that carry weights.
+    pub fn weighted_layer_count(&self) -> usize {
+        self.layers.iter().filter(|l| l.has_weights()).count()
+    }
+
+    /// Checks that each layer's input element count equals the previous
+    /// layer's output element count — required for *functional* execution
+    /// (the performance zoo models branching networks whose episode
+    /// accounting doesn't need exact chaining).
+    ///
+    /// Returns the index of the first layer whose input does not match, or
+    /// `Ok(())` when the whole network chains.
+    ///
+    /// # Errors
+    ///
+    /// The offending layer index, for diagnostics.
+    pub fn validate_chain(&self) -> Result<(), usize> {
+        for i in 1..self.layers.len() {
+            if self.layers[i].input_elems() != self.layers[i - 1].output_elems() {
+                return Err(i);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::fc;
+
+    #[test]
+    fn aggregates() {
+        let net = Network::new("n", vec![fc("a", 1, 10, 20), fc("b", 1, 20, 5)]);
+        assert_eq!(net.param_count(), 200 + 100);
+        assert_eq!(net.total_macs(), 200 + 100);
+        assert_eq!(net.total_feature_elems(), 25);
+        assert_eq!(net.weighted_layer_count(), 2);
+        assert_eq!(net.name(), "n");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate layer name")]
+    fn duplicate_names_rejected() {
+        let _ = Network::new("n", vec![fc("a", 1, 10, 20), fc("a", 1, 20, 5)]);
+    }
+
+    #[test]
+    fn chain_validation() {
+        let good = Network::new("g", vec![fc("a", 1, 10, 20), fc("b", 1, 20, 5)]);
+        assert_eq!(good.validate_chain(), Ok(()));
+        let bad = Network::new("b", vec![fc("a", 1, 10, 20), fc("b", 1, 21, 5)]);
+        assert_eq!(bad.validate_chain(), Err(1));
+    }
+}

@@ -1,0 +1,75 @@
+//! AlexNet (Krizhevsky et al., 2012) — ImageNet, 224×224 input.
+
+use crate::layer::{conv, fc, Layer, Op};
+use crate::Network;
+
+/// Builds AlexNet (single-tower "one weird trick" variant, as deployed by
+/// modern frameworks; ~61M parameters, ~0.71 GMACs).
+#[allow(clippy::vec_init_then_push)]
+pub fn alexnet() -> Network {
+    let mut layers: Vec<Layer> = Vec::new();
+    layers.push(conv("conv1", 224, 3, 64, 11, 4, 2)); // 55x55x64
+    layers.push(Layer::new(
+        "pool1",
+        Op::Eltwise {
+            elems: 64 * 27 * 27,
+            reads_per_elem: 1,
+        },
+    ));
+    layers.push(conv("conv2", 27, 64, 192, 5, 1, 2)); // 27x27x192
+    layers.push(Layer::new(
+        "pool2",
+        Op::Eltwise {
+            elems: 192 * 13 * 13,
+            reads_per_elem: 1,
+        },
+    ));
+    layers.push(conv("conv3", 13, 192, 384, 3, 1, 1));
+    layers.push(conv("conv4", 13, 384, 256, 3, 1, 1));
+    layers.push(conv("conv5", 13, 256, 256, 3, 1, 1));
+    layers.push(Layer::new(
+        "pool5",
+        Op::Eltwise {
+            elems: 256 * 6 * 6,
+            reads_per_elem: 1,
+        },
+    ));
+    layers.push(fc("fc6", 1, 256 * 6 * 6, 4096));
+    layers.push(fc("fc7", 1, 4096, 4096));
+    layers.push(fc("fc8", 1, 4096, 1000));
+    Network::new("alexnet", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_near_published() {
+        // Published single-tower AlexNet: ~61M parameters (dominated by fc6).
+        let params = alexnet().param_count();
+        assert!((57_000_000..65_000_000).contains(&params), "got {params}");
+    }
+
+    #[test]
+    fn macs_near_published() {
+        // ~0.7-1.1 GMACs depending on tower variant.
+        let macs = alexnet().total_macs();
+        assert!((600_000_000..1_200_000_000).contains(&macs), "got {macs}");
+    }
+
+    #[test]
+    fn fc_layers_dominate_params() {
+        let net = alexnet();
+        let fc_params: u64 = net
+            .layers()
+            .iter()
+            .filter(|l| l.name.starts_with("fc"))
+            .map(|l| l.weight_elems())
+            .sum();
+        assert!(
+            fc_params * 10 > net.param_count() * 9,
+            "fc must hold >90% of params"
+        );
+    }
+}

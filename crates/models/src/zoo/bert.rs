@@ -1,0 +1,75 @@
+//! BERT-Base (Devlin et al., 2019) — pretraining configuration, seq 512.
+
+use super::transformer::encoder_layer;
+use crate::layer::{fc, Layer, Op};
+use crate::Network;
+
+/// Builds BERT-Base for masked-LM pretraining: vocabulary 30522, 12 layers,
+/// hidden 768, sequence length 512.
+pub fn bert_base() -> Network {
+    let seq = 512;
+    let hidden = 768;
+    let vocab = 30522;
+    let mut layers: Vec<Layer> = Vec::new();
+    layers.push(Layer::new(
+        "tok_embed",
+        Op::Embedding {
+            rows: vocab,
+            dim: hidden,
+            lookups: seq,
+        },
+    ));
+    layers.push(Layer::new(
+        "pos_embed",
+        Op::Eltwise {
+            elems: seq * hidden,
+            reads_per_elem: 2,
+        },
+    ));
+    for i in 0..12 {
+        encoder_layer(&format!("enc{i}"), seq, hidden, 12, 3072, &mut layers);
+    }
+    // Masked-LM head: project each position back to the vocabulary.
+    layers.push(fc("mlm_head", seq, hidden, vocab));
+    Network::new("bert", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_near_published() {
+        // Published BERT-Base: 110M parameters. We tie the MLM head to the
+        // token embedding in spirit but count it separately, so accept a
+        // wider band (the embedding + head are 23.4M each).
+        let params = bert_base().param_count();
+        assert!((100_000_000..140_000_000).contains(&params), "got {params}");
+    }
+
+    #[test]
+    fn attention_work_is_significant_at_seq_512() {
+        let net = bert_base();
+        let attn: u64 = net
+            .layers()
+            .iter()
+            .filter(|l| l.name.contains("scores") || l.name.contains("context"))
+            .map(|l| l.macs())
+            .sum();
+        assert!(
+            attn * 20 > net.total_macs(),
+            "attention ≥5% of MACs at seq 512"
+        );
+    }
+
+    #[test]
+    fn embedding_gathers_not_full_table() {
+        let net = bert_base();
+        let emb = net
+            .layers()
+            .iter()
+            .find(|l| l.name == "tok_embed")
+            .expect("embed");
+        assert!(emb.weight_elems_touched() < emb.weight_elems() / 10);
+    }
+}

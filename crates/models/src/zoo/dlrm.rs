@@ -1,0 +1,92 @@
+//! DLRM (Naumov et al., 2019) — personalized recommendation.
+//!
+//! The public DLRM benchmark configuration: 13 dense features through a
+//! bottom MLP, 26 categorical features through embedding tables, pairwise
+//! dot-product interaction, and a top MLP. DLRM is the memory-bound extreme
+//! of the suite: almost all its traffic is embedding gathers.
+
+use crate::layer::{fc, Layer, Op};
+use crate::Network;
+
+/// Embedding rows per categorical table (Criteo-scale tables are O(10M);
+/// we use 1M rows so the 26 tables still dominate memory as in production).
+const EMB_ROWS: usize = 1_000_000;
+/// Embedding dimension.
+const EMB_DIM: usize = 64;
+/// Number of categorical features / tables.
+const NUM_TABLES: usize = 26;
+
+/// Builds the DLRM benchmark model (batch 128 — recommendation inference is
+/// served in large batches, unlike vision).
+pub fn dlrm() -> Network {
+    let batch = 128;
+    let mut layers: Vec<Layer> = Vec::new();
+    // Bottom MLP over 13 dense features: 13-512-256-64.
+    layers.push(fc("bot_mlp1", batch, 13, 512));
+    layers.push(fc("bot_mlp2", batch, 512, 256));
+    layers.push(fc("bot_mlp3", batch, 256, EMB_DIM));
+    // One gather per table per sample.
+    for t in 0..NUM_TABLES {
+        layers.push(Layer::new(
+            format!("emb{t}"),
+            Op::Embedding {
+                rows: EMB_ROWS,
+                dim: EMB_DIM,
+                lookups: batch,
+            },
+        ));
+    }
+    // Pairwise dot-product interaction of 27 vectors of dim 64 per sample.
+    let pairs = (NUM_TABLES + 1) * NUM_TABLES / 2;
+    layers.push(Layer::new(
+        "interact",
+        Op::Eltwise {
+            elems: batch * pairs,
+            reads_per_elem: 2 * EMB_DIM,
+        },
+    ));
+    // Top MLP: (pairs + dense 64) - 512 - 256 - 1.
+    let top_in = pairs + EMB_DIM;
+    layers.push(fc("top_mlp1", batch, top_in, 512));
+    layers.push(fc("top_mlp2", batch, 512, 256));
+    layers.push(fc("top_mlp3", batch, 256, 1));
+    Network::new("dlrm", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embeddings_dominate_parameters() {
+        let net = dlrm();
+        let emb: u64 = net
+            .layers()
+            .iter()
+            .filter(|l| l.name.starts_with("emb"))
+            .map(|l| l.weight_elems())
+            .sum();
+        assert_eq!(emb, (NUM_TABLES * EMB_ROWS * EMB_DIM) as u64);
+        assert!(
+            emb * 100 > net.param_count() * 99,
+            "embeddings ≥99% of params"
+        );
+    }
+
+    #[test]
+    fn compute_is_tiny_relative_to_params() {
+        let net = dlrm();
+        // DLRM is memory-bound: MACs per parameter ratio far below vision nets.
+        assert!(net.total_macs() < net.param_count() / 10);
+    }
+
+    #[test]
+    fn twenty_six_tables() {
+        let tables = dlrm()
+            .layers()
+            .iter()
+            .filter(|l| l.name.starts_with("emb"))
+            .count();
+        assert_eq!(tables, NUM_TABLES);
+    }
+}

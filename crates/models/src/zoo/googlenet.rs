@@ -1,0 +1,201 @@
+//! GoogleNet / Inception-v1 (Szegedy et al., 2015) — ImageNet, 224×224.
+
+use crate::layer::{conv, fc, Layer, Op};
+use crate::Network;
+
+/// Channel configuration of one inception module:
+/// (#1×1, #3×3 reduce, #3×3, #5×5 reduce, #5×5, pool proj).
+struct Inception {
+    c1: usize,
+    c3r: usize,
+    c3: usize,
+    c5r: usize,
+    c5: usize,
+    pp: usize,
+}
+
+impl Inception {
+    fn out_channels(&self) -> usize {
+        self.c1 + self.c3 + self.c5 + self.pp
+    }
+
+    fn push(&self, name: &str, hw: usize, in_c: usize, layers: &mut Vec<Layer>) {
+        layers.push(conv(format!("{name}_1x1"), hw, in_c, self.c1, 1, 1, 0));
+        layers.push(conv(format!("{name}_3x3r"), hw, in_c, self.c3r, 1, 1, 0));
+        layers.push(conv(format!("{name}_3x3"), hw, self.c3r, self.c3, 3, 1, 1));
+        layers.push(conv(format!("{name}_5x5r"), hw, in_c, self.c5r, 1, 1, 0));
+        layers.push(conv(format!("{name}_5x5"), hw, self.c5r, self.c5, 5, 1, 2));
+        layers.push(conv(format!("{name}_pproj"), hw, in_c, self.pp, 1, 1, 0));
+        layers.push(Layer::new(
+            format!("{name}_concat"),
+            Op::Eltwise {
+                elems: self.out_channels() * hw * hw,
+                reads_per_elem: 1,
+            },
+        ));
+    }
+}
+
+/// Builds GoogleNet (Inception-v1, main classifier only).
+#[allow(clippy::vec_init_then_push)]
+pub fn googlenet() -> Network {
+    let mut layers: Vec<Layer> = Vec::new();
+    layers.push(conv("conv1", 224, 3, 64, 7, 2, 3)); // 112x112x64
+    layers.push(Layer::new(
+        "pool1",
+        Op::Eltwise {
+            elems: 64 * 56 * 56,
+            reads_per_elem: 1,
+        },
+    ));
+    layers.push(conv("conv2_r", 56, 64, 64, 1, 1, 0));
+    layers.push(conv("conv2", 56, 64, 192, 3, 1, 1));
+    layers.push(Layer::new(
+        "pool2",
+        Op::Eltwise {
+            elems: 192 * 28 * 28,
+            reads_per_elem: 1,
+        },
+    ));
+
+    let i3a = Inception {
+        c1: 64,
+        c3r: 96,
+        c3: 128,
+        c5r: 16,
+        c5: 32,
+        pp: 32,
+    };
+    let i3b = Inception {
+        c1: 128,
+        c3r: 128,
+        c3: 192,
+        c5r: 32,
+        c5: 96,
+        pp: 64,
+    };
+    i3a.push("i3a", 28, 192, &mut layers);
+    i3b.push("i3b", 28, i3a.out_channels(), &mut layers);
+    layers.push(Layer::new(
+        "pool3",
+        Op::Eltwise {
+            elems: i3b.out_channels() * 14 * 14,
+            reads_per_elem: 1,
+        },
+    ));
+
+    let i4a = Inception {
+        c1: 192,
+        c3r: 96,
+        c3: 208,
+        c5r: 16,
+        c5: 48,
+        pp: 64,
+    };
+    let i4b = Inception {
+        c1: 160,
+        c3r: 112,
+        c3: 224,
+        c5r: 24,
+        c5: 64,
+        pp: 64,
+    };
+    let i4c = Inception {
+        c1: 128,
+        c3r: 128,
+        c3: 256,
+        c5r: 24,
+        c5: 64,
+        pp: 64,
+    };
+    let i4d = Inception {
+        c1: 112,
+        c3r: 144,
+        c3: 288,
+        c5r: 32,
+        c5: 64,
+        pp: 64,
+    };
+    let i4e = Inception {
+        c1: 256,
+        c3r: 160,
+        c3: 320,
+        c5r: 32,
+        c5: 128,
+        pp: 128,
+    };
+    i4a.push("i4a", 14, i3b.out_channels(), &mut layers);
+    i4b.push("i4b", 14, i4a.out_channels(), &mut layers);
+    i4c.push("i4c", 14, i4b.out_channels(), &mut layers);
+    i4d.push("i4d", 14, i4c.out_channels(), &mut layers);
+    i4e.push("i4e", 14, i4d.out_channels(), &mut layers);
+    layers.push(Layer::new(
+        "pool4",
+        Op::Eltwise {
+            elems: i4e.out_channels() * 7 * 7,
+            reads_per_elem: 1,
+        },
+    ));
+
+    let i5a = Inception {
+        c1: 256,
+        c3r: 160,
+        c3: 320,
+        c5r: 32,
+        c5: 128,
+        pp: 128,
+    };
+    let i5b = Inception {
+        c1: 384,
+        c3r: 192,
+        c3: 384,
+        c5r: 48,
+        c5: 128,
+        pp: 128,
+    };
+    i5a.push("i5a", 7, i4e.out_channels(), &mut layers);
+    i5b.push("i5b", 7, i5a.out_channels(), &mut layers);
+
+    layers.push(Layer::new(
+        "avgpool",
+        Op::Eltwise {
+            elems: 1024,
+            reads_per_elem: 49,
+        },
+    ));
+    layers.push(fc("fc", 1, 1024, 1000));
+    Network::new("googlenet", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_near_published() {
+        // Published GoogleNet: ~6.8-7.0M parameters (main branch, no aux).
+        let params = googlenet().param_count();
+        assert!((5_500_000..7_500_000).contains(&params), "got {params}");
+    }
+
+    #[test]
+    fn macs_near_published() {
+        // Published GoogleNet: ~1.5 GMACs.
+        let macs = googlenet().total_macs();
+        assert!((1_300_000_000..1_700_000_000).contains(&macs), "got {macs}");
+    }
+
+    #[test]
+    fn inception_channel_bookkeeping() {
+        // i3a output: 64+128+32+32 = 256 channels as published.
+        let i3a = Inception {
+            c1: 64,
+            c3r: 96,
+            c3: 128,
+            c5r: 16,
+            c5: 32,
+            pp: 32,
+        };
+        assert_eq!(i3a.out_channels(), 256);
+    }
+}

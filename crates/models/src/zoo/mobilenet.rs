@@ -1,0 +1,70 @@
+//! MobileNetV1 (Howard et al., 2017) — ImageNet, 224×224, width 1.0.
+
+use crate::layer::{conv, dwconv, fc, Layer, Op};
+use crate::Network;
+
+/// Builds MobileNetV1 (1.0×, 224).
+pub fn mobilenet_v1() -> Network {
+    let mut layers: Vec<Layer> = Vec::new();
+    layers.push(conv("conv1", 224, 3, 32, 3, 2, 1)); // 112x112x32
+
+    // (in_hw, channels_in, channels_out, stride) for each dw-separable block.
+    let blocks: &[(usize, usize, usize, usize)] = &[
+        (112, 32, 64, 1),
+        (112, 64, 128, 2),
+        (56, 128, 128, 1),
+        (56, 128, 256, 2),
+        (28, 256, 256, 1),
+        (28, 256, 512, 2),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 1024, 2),
+        (7, 1024, 1024, 1),
+    ];
+    for (i, &(hw, ic, oc, s)) in blocks.iter().enumerate() {
+        layers.push(dwconv(format!("dw{}", i + 1), hw, ic, 3, s, 1));
+        let pw_hw = hw / s;
+        layers.push(conv(format!("pw{}", i + 1), pw_hw, ic, oc, 1, 1, 0));
+    }
+    layers.push(Layer::new(
+        "avgpool",
+        Op::Eltwise {
+            elems: 1024,
+            reads_per_elem: 49,
+        },
+    ));
+    layers.push(fc("fc", 1, 1024, 1000));
+    Network::new("mobilenet", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_near_published() {
+        // Published MobileNetV1: 4.2M parameters.
+        let params = mobilenet_v1().param_count();
+        assert!((3_800_000..4_600_000).contains(&params), "got {params}");
+    }
+
+    #[test]
+    fn macs_near_published() {
+        // Published MobileNetV1: 569 MMACs.
+        let macs = mobilenet_v1().total_macs();
+        assert!((500_000_000..650_000_000).contains(&macs), "got {macs}");
+    }
+
+    #[test]
+    fn depthwise_layers_present() {
+        let dw = mobilenet_v1()
+            .layers()
+            .iter()
+            .filter(|l| l.name.starts_with("dw"))
+            .count();
+        assert_eq!(dw, 13);
+    }
+}

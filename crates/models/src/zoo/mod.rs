@@ -1,0 +1,174 @@
+//! Constructors for the nine networks in the GuardNN evaluation.
+//!
+//! Shapes follow the standard published architectures (ImageNet variants
+//! where applicable). Exact parameter counts are asserted against published
+//! figures in each module's tests.
+
+mod alexnet;
+mod bert;
+mod dlrm;
+mod googlenet;
+mod mobilenet;
+mod resnet;
+mod transformer;
+mod vgg;
+mod vit;
+mod wav2vec2;
+
+pub use alexnet::alexnet;
+pub use bert::bert_base;
+pub use dlrm::dlrm;
+pub use googlenet::googlenet;
+pub use mobilenet::mobilenet_v1;
+pub use resnet::resnet50;
+pub use vgg::vgg16;
+pub use vit::vit_base;
+pub use wav2vec2::wav2vec2_base;
+
+use crate::Network;
+
+/// The nine inference networks of Figure 3a, in the paper's x-axis order.
+pub fn figure3_inference_suite() -> Vec<Network> {
+    vec![
+        vgg16(),
+        alexnet(),
+        googlenet(),
+        resnet50(),
+        mobilenet_v1(),
+        vit_base(),
+        bert_base(),
+        dlrm(),
+        wav2vec2_base(),
+    ]
+}
+
+/// The eight training networks of Figure 3b (DLRM is inference-only in the
+/// paper's training plot).
+pub fn figure3_training_suite() -> Vec<Network> {
+    vec![
+        vgg16(),
+        alexnet(),
+        googlenet(),
+        resnet50(),
+        mobilenet_v1(),
+        vit_base(),
+        bert_base(),
+        wav2vec2_base(),
+    ]
+}
+
+/// The four FPGA-prototype networks of Table II.
+pub fn table2_suite() -> Vec<Network> {
+    vec![alexnet(), googlenet(), resnet50(), vgg16()]
+}
+
+/// Looks a network up by its lower-case name (e.g. `"vgg"`, `"bert"`).
+pub fn by_name(name: &str) -> Option<Network> {
+    match name.to_ascii_lowercase().as_str() {
+        "alexnet" => Some(alexnet()),
+        "vgg" | "vgg16" | "vgg-16" => Some(vgg16()),
+        "googlenet" => Some(googlenet()),
+        "resnet" | "resnet50" | "resnet-50" => Some(resnet50()),
+        "mobilenet" | "mobilenetv1" => Some(mobilenet_v1()),
+        "vit" | "vit-base" => Some(vit_base()),
+        "bert" | "bert-base" => Some(bert_base()),
+        "dlrm" => Some(dlrm()),
+        "wav2vec2" | "wave2vec2" => Some(wav2vec2_base()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_expected_sizes() {
+        assert_eq!(figure3_inference_suite().len(), 9);
+        assert_eq!(figure3_training_suite().len(), 8);
+        assert_eq!(table2_suite().len(), 4);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for net in figure3_inference_suite() {
+            let found = by_name(net.name()).unwrap_or_else(|| panic!("lookup {}", net.name()));
+            assert_eq!(found.name(), net.name());
+        }
+        assert!(by_name("lenet").is_none());
+    }
+
+    #[test]
+    fn all_networks_have_nonzero_work() {
+        for net in figure3_inference_suite() {
+            assert!(net.param_count() > 0, "{} params", net.name());
+            assert!(net.total_feature_elems() > 0, "{} features", net.name());
+        }
+    }
+}
+
+#[cfg(test)]
+mod cross_network_tests {
+    //! Relative-size sanity checks across the whole suite: these pin the
+    //! qualitative relationships the paper's evaluation leans on.
+
+    use super::*;
+
+    #[test]
+    fn vgg_has_most_parameters_of_vision_nets() {
+        let vgg = vgg16().param_count();
+        for net in [alexnet(), googlenet(), resnet50(), mobilenet_v1()] {
+            assert!(vgg > net.param_count(), "{} ≥ vgg", net.name());
+        }
+    }
+
+    #[test]
+    fn googlenet_is_smallest_imagenet_cnn() {
+        let g = googlenet().param_count();
+        for net in [alexnet(), vgg16(), resnet50()] {
+            assert!(g < net.param_count(), "{} ≤ googlenet", net.name());
+        }
+    }
+
+    #[test]
+    fn vgg_has_most_compute_of_cnns() {
+        // (ViT at seq 197 actually edges VGG out overall — 17.5 vs 15.5
+        // GMACs — so the claim is scoped to the CNN family.)
+        let vgg = vgg16().total_macs();
+        for net in [alexnet(), googlenet(), resnet50(), mobilenet_v1()] {
+            assert!(vgg >= net.total_macs(), "{} > vgg MACs", net.name());
+        }
+    }
+
+    #[test]
+    fn dlrm_has_most_parameters_overall() {
+        let d = dlrm().param_count();
+        for net in figure3_inference_suite() {
+            if net.name() != "dlrm" {
+                assert!(d > net.param_count(), "{} ≥ dlrm params", net.name());
+            }
+        }
+    }
+
+    #[test]
+    fn bert_seq512_outweighs_vit_seq197_in_attention() {
+        let attn = |net: &crate::Network| -> u64 {
+            net.layers()
+                .iter()
+                .filter(|l| l.name.contains("scores") || l.name.contains("context"))
+                .map(|l| l.macs())
+                .sum()
+        };
+        assert!(attn(&bert_base()) > 4 * attn(&vit_base()));
+    }
+
+    #[test]
+    fn arithmetic_intensity_ordering() {
+        // MACs per parameter-byte: conv nets high, DLRM pathologically low —
+        // the property that drives Figure 3's per-network differences.
+        let intensity = |net: &crate::Network| net.total_macs() as f64 / net.param_count() as f64;
+        assert!(intensity(&mobilenet_v1()) > 50.0);
+        assert!(intensity(&resnet50()) > 100.0);
+        assert!(intensity(&dlrm()) < 1.0);
+    }
+}

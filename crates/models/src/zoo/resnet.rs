@@ -1,0 +1,128 @@
+//! ResNet-50 (He et al., 2016) — ImageNet, 224×224 input.
+
+use crate::layer::{conv, fc, Layer, Op};
+use crate::Network;
+
+/// Appends one bottleneck block (1×1 reduce, 3×3, 1×1 expand + residual).
+///
+/// `hw` is the *output* spatial size of the block; when `downsample` the 3×3
+/// runs at stride 2 from 2·hw input, and a projection shortcut is added.
+#[allow(clippy::too_many_arguments)]
+fn bottleneck(
+    name: &str,
+    hw: usize,
+    in_c: usize,
+    mid_c: usize,
+    out_c: usize,
+    downsample: bool,
+    layers: &mut Vec<Layer>,
+) {
+    let in_hw = if downsample { hw * 2 } else { hw };
+    let stride = if downsample { 2 } else { 1 };
+    layers.push(conv(
+        format!("{name}_1x1a"),
+        in_hw,
+        in_c,
+        mid_c,
+        1,
+        stride,
+        0,
+    ));
+    layers.push(conv(format!("{name}_3x3"), hw, mid_c, mid_c, 3, 1, 1));
+    layers.push(conv(format!("{name}_1x1b"), hw, mid_c, out_c, 1, 1, 0));
+    if downsample || in_c != out_c {
+        layers.push(conv(
+            format!("{name}_proj"),
+            in_hw,
+            in_c,
+            out_c,
+            1,
+            stride,
+            0,
+        ));
+    }
+    layers.push(Layer::new(
+        format!("{name}_add"),
+        Op::Eltwise {
+            elems: out_c * hw * hw,
+            reads_per_elem: 2,
+        },
+    ));
+}
+
+/// Builds ResNet-50.
+pub fn resnet50() -> Network {
+    let mut layers: Vec<Layer> = Vec::new();
+    layers.push(conv("conv1", 224, 3, 64, 7, 2, 3)); // 112x112
+    layers.push(Layer::new(
+        "pool1",
+        Op::Eltwise {
+            elems: 64 * 56 * 56,
+            reads_per_elem: 1,
+        },
+    ));
+
+    // (stage, blocks, hw, mid, out)
+    let stages: &[(usize, usize, usize, usize, usize)] = &[
+        (2, 3, 56, 64, 256),
+        (3, 4, 28, 128, 512),
+        (4, 6, 14, 256, 1024),
+        (5, 3, 7, 512, 2048),
+    ];
+    let mut in_c = 64;
+    for &(stage, blocks, hw, mid, out) in stages {
+        for b in 0..blocks {
+            // conv2_x has stride-1 first block (pool already downsampled);
+            // later stages downsample in their first block.
+            let downsample = b == 0 && stage > 2;
+            bottleneck(
+                &format!("conv{stage}_{}", b + 1),
+                hw,
+                in_c,
+                mid,
+                out,
+                downsample,
+                &mut layers,
+            );
+            in_c = out;
+        }
+    }
+    layers.push(Layer::new(
+        "avgpool",
+        Op::Eltwise {
+            elems: 2048,
+            reads_per_elem: 49,
+        },
+    ));
+    layers.push(fc("fc", 1, 2048, 1000));
+    Network::new("resnet", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_near_published() {
+        // Published ResNet-50: 25.6M parameters.
+        let params = resnet50().param_count();
+        assert!((24_000_000..27_000_000).contains(&params), "got {params}");
+    }
+
+    #[test]
+    fn macs_near_published() {
+        // Published ResNet-50: ~3.8-4.1 GMACs.
+        let macs = resnet50().total_macs();
+        assert!((3_500_000_000..4_500_000_000).contains(&macs), "got {macs}");
+    }
+
+    #[test]
+    fn has_16_bottlenecks() {
+        let adds = resnet50()
+            .layers()
+            .iter()
+            .filter(|l| l.name.ends_with("_add"))
+            .count();
+        assert_eq!(adds, 16);
+    }
+}

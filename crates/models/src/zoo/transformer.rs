@@ -1,0 +1,142 @@
+//! Shared transformer-encoder builder used by ViT, BERT and wav2vec2.
+
+use crate::layer::{Gemm, Layer, Op};
+
+/// Appends one pre-norm transformer encoder layer.
+///
+/// The attention score and context matmuls are expressed as single GEMMs
+/// with the head dimension folded into M, which preserves MAC count and
+/// feature traffic on a systolic array.
+pub(crate) fn encoder_layer(
+    prefix: &str,
+    seq: usize,
+    hidden: usize,
+    heads: usize,
+    ffn: usize,
+    layers: &mut Vec<Layer>,
+) {
+    let head_dim = hidden / heads;
+    layers.push(Layer::new(
+        format!("{prefix}_ln1"),
+        Op::Eltwise {
+            elems: seq * hidden,
+            reads_per_elem: 1,
+        },
+    ));
+    layers.push(Layer::new(
+        format!("{prefix}_qkv"),
+        Op::Gemm(Gemm {
+            m: seq,
+            k: hidden,
+            n: 3 * hidden,
+        }),
+    ));
+    // scores = Q·Kᵀ per head: (seq × head_dim) · (head_dim × seq), all heads.
+    layers.push(Layer::new(
+        format!("{prefix}_scores"),
+        Op::AttnMatmul(Gemm {
+            m: seq * heads,
+            k: head_dim,
+            n: seq,
+        }),
+    ));
+    layers.push(Layer::new(
+        format!("{prefix}_softmax"),
+        Op::Eltwise {
+            elems: seq * seq * heads,
+            reads_per_elem: 1,
+        },
+    ));
+    // context = scores·V per head: (seq × seq) · (seq × head_dim).
+    layers.push(Layer::new(
+        format!("{prefix}_context"),
+        Op::AttnMatmul(Gemm {
+            m: seq * heads,
+            k: seq,
+            n: head_dim,
+        }),
+    ));
+    layers.push(Layer::new(
+        format!("{prefix}_out"),
+        Op::Gemm(Gemm {
+            m: seq,
+            k: hidden,
+            n: hidden,
+        }),
+    ));
+    layers.push(Layer::new(
+        format!("{prefix}_res1"),
+        Op::Eltwise {
+            elems: seq * hidden,
+            reads_per_elem: 2,
+        },
+    ));
+    layers.push(Layer::new(
+        format!("{prefix}_ln2"),
+        Op::Eltwise {
+            elems: seq * hidden,
+            reads_per_elem: 1,
+        },
+    ));
+    layers.push(Layer::new(
+        format!("{prefix}_ffn1"),
+        Op::Gemm(Gemm {
+            m: seq,
+            k: hidden,
+            n: ffn,
+        }),
+    ));
+    layers.push(Layer::new(
+        format!("{prefix}_ffn2"),
+        Op::Gemm(Gemm {
+            m: seq,
+            k: ffn,
+            n: hidden,
+        }),
+    ));
+    layers.push(Layer::new(
+        format!("{prefix}_res2"),
+        Op::Eltwise {
+            elems: seq * hidden,
+            reads_per_elem: 2,
+        },
+    ));
+}
+
+/// Parameter count of one encoder layer (weights only, no biases/norms),
+/// for test cross-checks: `4·hidden² + 2·hidden·ffn`.
+#[cfg(test)]
+pub(crate) fn encoder_layer_params(hidden: usize, ffn: usize) -> u64 {
+    (4 * hidden * hidden + 2 * hidden * ffn) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Network;
+
+    #[test]
+    fn layer_params_match_closed_form() {
+        let mut layers = Vec::new();
+        encoder_layer("l0", 197, 768, 12, 3072, &mut layers);
+        let net = Network::new("one-layer", layers);
+        assert_eq!(net.param_count(), encoder_layer_params(768, 3072));
+    }
+
+    #[test]
+    fn attention_macs_scale_with_seq_squared() {
+        let count = |seq: usize| {
+            let mut layers = Vec::new();
+            encoder_layer("l0", seq, 768, 12, 3072, &mut layers);
+            let net = Network::new("t", layers);
+            net.layers()
+                .iter()
+                .filter(|l| l.name.contains("scores") || l.name.contains("context"))
+                .map(|l| l.macs())
+                .sum::<u64>()
+        };
+        // Doubling seq should ~4x the attention matmul MACs.
+        let (a, b) = (count(128), count(256));
+        assert_eq!(b, 4 * a);
+    }
+}

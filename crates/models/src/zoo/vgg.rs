@@ -1,0 +1,81 @@
+//! VGG-16 (Simonyan & Zisserman, 2014) — ImageNet, 224×224 input.
+
+use crate::layer::{conv, fc, Layer, Op};
+use crate::Network;
+
+/// Builds VGG-16 (configuration D, 1000-way classifier).
+pub fn vgg16() -> Network {
+    let mut layers: Vec<Layer> = Vec::new();
+    // (spatial, in_c, out_c) for the 13 conv layers; pools halve spatial dims.
+    let blocks: &[(usize, &[(usize, usize)])] = &[
+        (224, &[(3, 64), (64, 64)]),
+        (112, &[(64, 128), (128, 128)]),
+        (56, &[(128, 256), (256, 256), (256, 256)]),
+        (28, &[(256, 512), (512, 512), (512, 512)]),
+        (14, &[(512, 512), (512, 512), (512, 512)]),
+    ];
+    for (b, (hw, convs)) in blocks.iter().enumerate() {
+        for (i, (ic, oc)) in convs.iter().enumerate() {
+            layers.push(conv(
+                format!("conv{}_{}", b + 1, i + 1),
+                *hw,
+                *ic,
+                *oc,
+                3,
+                1,
+                1,
+            ));
+        }
+        let out_hw = hw / 2;
+        let out_c = convs.last().expect("nonempty").1;
+        layers.push(Layer::new(
+            format!("pool{}", b + 1),
+            Op::Eltwise {
+                elems: out_c * out_hw * out_hw,
+                reads_per_elem: 1,
+            },
+        ));
+    }
+    layers.push(fc("fc6", 1, 512 * 7 * 7, 4096));
+    layers.push(fc("fc7", 1, 4096, 4096));
+    layers.push(fc("fc8", 1, 4096, 1000));
+    Network::new("vgg", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_matches_published() {
+        // Published VGG-16: 138.36M parameters.
+        let params = vgg16().param_count();
+        assert!((137_000_000..140_000_000).contains(&params), "got {params}");
+    }
+
+    #[test]
+    fn macs_match_published() {
+        // Published VGG-16: ~15.5 GMACs.
+        let macs = vgg16().total_macs();
+        assert!(
+            (15_000_000_000..16_000_000_000).contains(&macs),
+            "got {macs}"
+        );
+    }
+
+    #[test]
+    fn thirteen_convs_three_fcs() {
+        let net = vgg16();
+        let convs = net
+            .layers()
+            .iter()
+            .filter(|l| l.name.starts_with("conv"))
+            .count();
+        let fcs = net
+            .layers()
+            .iter()
+            .filter(|l| l.name.starts_with("fc"))
+            .count();
+        assert_eq!((convs, fcs), (13, 3));
+    }
+}

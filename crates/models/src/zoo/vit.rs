@@ -1,0 +1,73 @@
+//! ViT-Base/16 (Dosovitskiy et al., 2021) — ImageNet, 224×224 input.
+
+use super::transformer::encoder_layer;
+use crate::layer::{fc, Gemm, Layer, Op};
+use crate::Network;
+
+/// Builds ViT-Base/16: 196 patches + CLS (seq 197), 12 layers, hidden 768.
+pub fn vit_base() -> Network {
+    let seq = 197;
+    let hidden = 768;
+    let mut layers: Vec<Layer> = Vec::new();
+    // Patch embedding: a 16×16 conv ≡ GEMM of 196 patches × (16·16·3) × 768.
+    layers.push(Layer::new(
+        "patch_embed",
+        Op::Gemm(Gemm {
+            m: 196,
+            k: 16 * 16 * 3,
+            n: hidden,
+        }),
+    ));
+    layers.push(Layer::new(
+        "pos_embed",
+        Op::Eltwise {
+            elems: seq * hidden,
+            reads_per_elem: 2,
+        },
+    ));
+    for i in 0..12 {
+        encoder_layer(&format!("enc{i}"), seq, hidden, 12, 3072, &mut layers);
+    }
+    layers.push(Layer::new(
+        "ln_final",
+        Op::Eltwise {
+            elems: seq * hidden,
+            reads_per_elem: 1,
+        },
+    ));
+    layers.push(fc("head", 1, hidden, 1000));
+    Network::new("vit", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_near_published() {
+        // Published ViT-Base: 86M parameters (incl. embeddings we omit
+        // biases for, so accept 82-90M).
+        let params = vit_base().param_count();
+        assert!((80_000_000..90_000_000).contains(&params), "got {params}");
+    }
+
+    #[test]
+    fn macs_near_published() {
+        // Published ViT-Base/16: ~17.6 G multiply-adds at 224² / seq 197.
+        let macs = vit_base().total_macs();
+        assert!(
+            (16_000_000_000..19_000_000_000).contains(&macs),
+            "got {macs}"
+        );
+    }
+
+    #[test]
+    fn twelve_encoder_layers() {
+        let qkv = vit_base()
+            .layers()
+            .iter()
+            .filter(|l| l.name.ends_with("_qkv"))
+            .count();
+        assert_eq!(qkv, 12);
+    }
+}

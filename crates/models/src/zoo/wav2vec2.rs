@@ -1,0 +1,101 @@
+//! wav2vec 2.0 Base (Baevski et al., 2020) — speech representation learning.
+//!
+//! Feature encoder: seven temporal convolutions with 512 channels reducing
+//! 16 kHz raw audio by 320×; context network: 12 transformer layers with
+//! hidden 768. We model a 5-second utterance (80 000 samples → 249 frames).
+
+use super::transformer::encoder_layer;
+use crate::layer::{ConvSpec, Gemm, Layer, Op};
+use crate::Network;
+
+/// Builds wav2vec2-Base for a 5 s / 16 kHz utterance.
+pub fn wav2vec2_base() -> Network {
+    let mut layers: Vec<Layer> = Vec::new();
+    // Temporal convs expressed as 1-D convolutions (height 1):
+    // (kernel, stride) pairs from the paper; channels 512 throughout.
+    let conv_cfg: &[(usize, usize)] = &[(10, 5), (3, 2), (3, 2), (3, 2), (3, 2), (2, 2), (2, 2)];
+    let mut t = 80_000usize;
+    let mut in_c = 1usize;
+    for (i, &(k, s)) in conv_cfg.iter().enumerate() {
+        let out_t = (t - k) / s + 1;
+        layers.push(Layer::new(
+            format!("feat_conv{i}"),
+            Op::Conv(ConvSpec {
+                in_c,
+                out_c: 512,
+                kh: 1,
+                kw: k,
+                stride: s,
+                pad: 0,
+                in_h: 1,
+                in_w: t,
+                depthwise: false,
+            }),
+        ));
+        t = out_t;
+        in_c = 512;
+    }
+    let seq = t; // 249 frames for 5 s audio
+    let hidden = 768;
+    layers.push(Layer::new(
+        "feat_proj",
+        Op::Gemm(Gemm {
+            m: seq,
+            k: 512,
+            n: hidden,
+        }),
+    ));
+    for i in 0..12 {
+        encoder_layer(&format!("enc{i}"), seq, hidden, 12, 3072, &mut layers);
+    }
+    // Quantizer / contrastive projection head.
+    layers.push(Layer::new(
+        "proj_head",
+        Op::Gemm(Gemm {
+            m: seq,
+            k: hidden,
+            n: 256,
+        }),
+    ));
+    Network::new("wav2vec2", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_rate_matches_paper() {
+        // 320x total stride → 5 s of 16 kHz audio ≈ 249 frames.
+        let net = wav2vec2_base();
+        let proj = net
+            .layers()
+            .iter()
+            .find(|l| l.name == "feat_proj")
+            .expect("proj");
+        match &proj.op {
+            Op::Gemm(g) => assert!((240..260).contains(&g.m), "got {} frames", g.m),
+            other => panic!("unexpected op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parameter_count_near_published() {
+        // Published wav2vec2-Base: ~95M parameters.
+        let params = wav2vec2_base().param_count();
+        assert!((85_000_000..100_000_000).contains(&params), "got {params}");
+    }
+
+    #[test]
+    fn conv_front_end_is_compute_heavy() {
+        let net = wav2vec2_base();
+        let conv_macs: u64 = net
+            .layers()
+            .iter()
+            .filter(|l| l.name.starts_with("feat_conv"))
+            .map(|l| l.macs())
+            .sum();
+        assert!(conv_macs > 0);
+        assert!(conv_macs < net.total_macs());
+    }
+}

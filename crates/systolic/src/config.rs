@@ -1,0 +1,105 @@
+//! Systolic array configuration.
+
+/// Mapping strategy of the GEMM loops onto the array (SCALE-Sim's three
+/// canonical dataflows).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Dataflow {
+    /// Weights resident in PEs; activations stream through (TPU-v1 style).
+    #[default]
+    WeightStationary,
+    /// Output partial sums resident; inputs and weights stream.
+    OutputStationary,
+    /// Inputs resident; weights stream.
+    InputStationary,
+}
+
+/// Geometry and memory configuration of the accelerator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArrayConfig {
+    /// PE rows (contraction dimension K folds onto rows under WS).
+    pub rows: usize,
+    /// PE columns.
+    pub cols: usize,
+    /// Dataflow.
+    pub dataflow: Dataflow,
+    /// SRAM bytes for the activation (ifmap) buffer.
+    pub sram_act_bytes: u64,
+    /// SRAM bytes for the weight (filter) buffer.
+    pub sram_wgt_bytes: u64,
+    /// SRAM bytes for the output (accumulator) buffer.
+    pub sram_out_bytes: u64,
+    /// Bytes per element in DRAM (1 = int8 inference, 2 = bf16 training).
+    pub bytes_per_elem: u64,
+    /// Core clock in MHz.
+    pub clock_mhz: u64,
+}
+
+impl ArrayConfig {
+    /// TPU-v1-like configuration used throughout the paper's ASIC
+    /// simulations: 256×256 = 64k MACs, 24 MB of on-chip SRAM, 700 MHz.
+    pub fn tpu_v1() -> Self {
+        Self {
+            rows: 256,
+            cols: 256,
+            dataflow: Dataflow::WeightStationary,
+            sram_act_bytes: 16 << 20,
+            sram_wgt_bytes: 4 << 20,
+            sram_out_bytes: 4 << 20,
+            bytes_per_elem: 1,
+            clock_mhz: 700,
+        }
+    }
+
+    /// A small 32×32 array for fast unit tests.
+    pub fn test_small() -> Self {
+        Self {
+            rows: 32,
+            cols: 32,
+            dataflow: Dataflow::WeightStationary,
+            sram_act_bytes: 64 << 10,
+            sram_wgt_bytes: 32 << 10,
+            sram_out_bytes: 32 << 10,
+            bytes_per_elem: 1,
+            clock_mhz: 700,
+        }
+    }
+
+    /// Total MAC units.
+    pub fn pe_count(&self) -> u64 {
+        self.rows as u64 * self.cols as u64
+    }
+
+    /// Total on-chip SRAM bytes.
+    pub fn total_sram(&self) -> u64 {
+        self.sram_act_bytes + self.sram_wgt_bytes + self.sram_out_bytes
+    }
+
+    /// Peak throughput in MACs per cycle.
+    pub fn peak_macs_per_cycle(&self) -> u64 {
+        self.pe_count()
+    }
+}
+
+impl Default for ArrayConfig {
+    fn default() -> Self {
+        Self::tpu_v1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpu_v1_matches_paper() {
+        let cfg = ArrayConfig::tpu_v1();
+        assert_eq!(cfg.pe_count(), 65_536); // "64k processing elements"
+        assert_eq!(cfg.total_sram(), 24 << 20); // "24MB on-chip memory"
+        assert_eq!(cfg.clock_mhz, 700);
+    }
+
+    #[test]
+    fn default_is_tpu() {
+        assert_eq!(ArrayConfig::default(), ArrayConfig::tpu_v1());
+    }
+}

@@ -1,0 +1,165 @@
+//! Analytic compute-cycle model for a GEMM on the systolic array.
+//!
+//! Follows the SCALE-Sim methodology: the GEMM is folded onto the R×C array
+//! according to the dataflow; each fold costs its streaming dimension plus
+//! the array fill/drain latency.
+
+use crate::config::{ArrayConfig, Dataflow};
+use guardnn_models::Gemm;
+
+/// Compute-cycle result for one GEMM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GemmPerf {
+    /// Total compute cycles on the array.
+    pub cycles: u64,
+    /// Number of array folds executed.
+    pub folds: u64,
+    /// MAC operations performed.
+    pub macs: u64,
+    /// Peak MACs per cycle of the array (for utilization).
+    pub peak_macs_per_cycle: u64,
+}
+
+impl GemmPerf {
+    /// Achieved utilization of the MAC array in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.macs as f64 / (self.cycles as f64 * self.peak_macs_per_cycle as f64)
+        }
+    }
+}
+
+/// Simulates `gemm` on the array described by `cfg` and returns cycle
+/// counts.
+///
+/// Fold counts and per-fold stream lengths follow SCALE-Sim's analytical
+/// model: under weight-stationary, K maps to rows and N to columns, and each
+/// fold streams M activation rows through the array after an R-cycle weight
+/// load, draining through R + C pipeline stages.
+pub fn simulate_gemm(cfg: &ArrayConfig, gemm: Gemm) -> GemmPerf {
+    let r = cfg.rows as u64;
+    let c = cfg.cols as u64;
+    let (m, k, n) = (gemm.m as u64, gemm.k as u64, gemm.n as u64);
+    let (folds, per_fold) = match cfg.dataflow {
+        // K on rows, N on cols, stream M.
+        Dataflow::WeightStationary => (k.div_ceil(r) * n.div_ceil(c), r + m + c),
+        // M on rows, N on cols, stream K.
+        Dataflow::OutputStationary => (m.div_ceil(r) * n.div_ceil(c), k + r + c),
+        // K on rows, M on cols, stream N.
+        Dataflow::InputStationary => (k.div_ceil(r) * m.div_ceil(c), r + n + c),
+    };
+    GemmPerf {
+        cycles: folds * per_fold,
+        folds,
+        macs: gemm.macs(),
+        peak_macs_per_cycle: cfg.peak_macs_per_cycle(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_square_gemm_high_utilization() {
+        let cfg = ArrayConfig::tpu_v1();
+        let perf = simulate_gemm(
+            &cfg,
+            Gemm {
+                m: 4096,
+                k: 2048,
+                n: 2048,
+            },
+        );
+        assert!(perf.utilization() > 0.8, "got {}", perf.utilization());
+    }
+
+    #[test]
+    fn tiny_gemm_low_utilization() {
+        let cfg = ArrayConfig::tpu_v1();
+        // Depthwise-style degenerate GEMM: K=9, N=1.
+        let perf = simulate_gemm(
+            &cfg,
+            Gemm {
+                m: 12544,
+                k: 9,
+                n: 1,
+            },
+        );
+        assert!(perf.utilization() < 0.01, "got {}", perf.utilization());
+    }
+
+    #[test]
+    fn fold_counting_ws() {
+        let cfg = ArrayConfig::test_small(); // 32x32
+        let perf = simulate_gemm(
+            &cfg,
+            Gemm {
+                m: 100,
+                k: 64,
+                n: 65,
+            },
+        );
+        // ceil(64/32)=2 row folds, ceil(65/32)=3 col folds.
+        assert_eq!(perf.folds, 6);
+        assert_eq!(perf.cycles, 6 * (32 + 100 + 32));
+    }
+
+    #[test]
+    fn dataflow_changes_cycles() {
+        let mut cfg = ArrayConfig::test_small();
+        let g = Gemm {
+            m: 1000,
+            k: 64,
+            n: 32,
+        };
+        let ws = simulate_gemm(&cfg, g).cycles;
+        cfg.dataflow = Dataflow::OutputStationary;
+        let os = simulate_gemm(&cfg, g).cycles;
+        // Tall-skinny GEMM favours OS (streams K=64 per fold) over WS
+        // (streams M=1000 per fold twice).
+        assert!(os != ws);
+    }
+
+    #[test]
+    fn cycles_scale_linearly_in_m_for_ws() {
+        let cfg = ArrayConfig::test_small();
+        let c1 = simulate_gemm(
+            &cfg,
+            Gemm {
+                m: 1000,
+                k: 32,
+                n: 32,
+            },
+        )
+        .cycles;
+        let c2 = simulate_gemm(
+            &cfg,
+            Gemm {
+                m: 2000,
+                k: 32,
+                n: 32,
+            },
+        )
+        .cycles;
+        assert!(c2 > c1 && c2 < 2 * c1 + 100);
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let cfg = ArrayConfig::tpu_v1();
+        for g in [
+            Gemm { m: 1, k: 1, n: 1 },
+            Gemm {
+                m: 10_000,
+                k: 256,
+                n: 256,
+            },
+        ] {
+            let u = simulate_gemm(&cfg, g).utilization();
+            assert!((0.0..=1.0).contains(&u), "got {u}");
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! SCALE-Sim-style systolic-array accelerator simulator.
+//!
+//! The GuardNN paper's ASIC evaluation models the accelerator with
+//! SCALE-Sim (ARM Research) configured like Google TPU-v1: a 256×256 MAC
+//! array with 24 MB of on-chip SRAM. This crate reimplements that modeling
+//! methodology natively:
+//!
+//! * [`config`] — array geometry, dataflow, SRAM partitioning.
+//! * [`engine`] — analytic compute-cycle model for a GEMM on the array
+//!   (weight-, output- and input-stationary dataflows).
+//! * [`traffic`] — double-buffered tiling model turning a GEMM plus SRAM
+//!   sizes into DRAM byte counts per operand.
+//! * [`trace`] — address-level DRAM trace generation for a whole
+//!   [`guardnn_models::graph::ExecutionPlan`], the input to the memory
+//!   protection engines and the DRAM simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use guardnn_systolic::config::ArrayConfig;
+//! use guardnn_systolic::engine::simulate_gemm;
+//! use guardnn_models::Gemm;
+//!
+//! let cfg = ArrayConfig::tpu_v1();
+//! let perf = simulate_gemm(&cfg, Gemm { m: 1024, k: 1024, n: 1024 });
+//! assert!(perf.utilization() > 0.5);
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod trace;
+pub mod traffic;
+
+pub use config::{ArrayConfig, Dataflow};
+pub use engine::{simulate_gemm, GemmPerf};
+pub use trace::{MemEvent, PlanTrace, Stream, TraceBuilder};
+pub use traffic::{gemm_traffic, GemmTraffic};

@@ -1,0 +1,143 @@
+//! Double-buffered tiling model: GEMM + SRAM sizes → DRAM bytes.
+//!
+//! The accelerator reads each weight tile once, streams activations against
+//! it, and accumulates outputs on chip. When an operand exceeds its SRAM
+//! partition, the tiling forces re-reads; this module computes the resulting
+//! per-operand DRAM byte counts, which is where memory protection overheads
+//! are ultimately charged.
+
+use crate::config::ArrayConfig;
+use guardnn_models::Gemm;
+
+/// Per-operand DRAM traffic for one GEMM.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GemmTraffic {
+    /// Activation (A) bytes read from DRAM, including re-reads.
+    pub act_read: u64,
+    /// Weight (B) bytes read from DRAM, including re-reads.
+    pub wgt_read: u64,
+    /// Output (C) bytes written to DRAM.
+    pub out_write: u64,
+    /// Partial-sum bytes spilled and re-read when K does not fit.
+    pub psum_rw: u64,
+}
+
+impl GemmTraffic {
+    /// Total DRAM bytes moved.
+    pub fn total(&self) -> u64 {
+        self.act_read + self.wgt_read + self.out_write + self.psum_rw
+    }
+}
+
+/// Computes the DRAM traffic of `gemm` under the tiling implied by `cfg`'s
+/// SRAM partitions.
+///
+/// Model: the weight buffer holds a `K × Tn` tile (`Tn ≥` array columns
+/// whenever possible); each weight tile is read once. If the full activation
+/// matrix fits the activation buffer it is read once; otherwise it is
+/// re-streamed for every weight tile. If even one array-column-wide weight
+/// tile exceeds the weight buffer, K is split and partial sums spill.
+pub fn gemm_traffic(cfg: &ArrayConfig, gemm: Gemm) -> GemmTraffic {
+    let b = cfg.bytes_per_elem;
+    let (m, k, n) = (gemm.m as u64, gemm.k as u64, gemm.n as u64);
+    let a_bytes = m * k * b;
+    let b_bytes = k * n * b;
+    let c_bytes = m * n * b;
+
+    // K-splitting: the minimum weight tile is one array-column stripe of
+    // the full contraction dimension.
+    let min_tile_bytes = k * (cfg.cols as u64).min(n) * b;
+    let k_splits = min_tile_bytes.div_ceil(cfg.sram_wgt_bytes).max(1);
+    let k_per_split = k.div_ceil(k_splits);
+
+    // Weight tile columns given one K split resident.
+    let tn = (cfg.sram_wgt_bytes / (k_per_split * b).max(1)).clamp(1, n);
+    let n_tiles = n.div_ceil(tn);
+
+    let act_fits = a_bytes <= cfg.sram_act_bytes;
+    let act_read = if act_fits { a_bytes } else { a_bytes * n_tiles };
+    // Each K split streams the weight tile once.
+    let wgt_read = b_bytes;
+    // Partial sums spill once per extra K split (write + read back).
+    let psum_rw = 2 * c_bytes * (k_splits - 1);
+
+    GemmTraffic {
+        act_read,
+        wgt_read,
+        out_write: c_bytes,
+        psum_rw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_gemm_reads_each_operand_once() {
+        let cfg = ArrayConfig::tpu_v1();
+        let g = Gemm {
+            m: 128,
+            k: 256,
+            n: 256,
+        };
+        let t = gemm_traffic(&cfg, g);
+        assert_eq!(t.act_read, 128 * 256);
+        assert_eq!(t.wgt_read, 256 * 256);
+        assert_eq!(t.out_write, 128 * 256);
+        assert_eq!(t.psum_rw, 0);
+    }
+
+    #[test]
+    fn oversized_activations_rereads() {
+        let cfg = ArrayConfig::test_small(); // 64 KiB act buffer
+                                             // A = 1024×1024 = 1 MiB > 64 KiB, B = 1024×512.
+        let g = Gemm {
+            m: 1024,
+            k: 1024,
+            n: 512,
+        };
+        let t = gemm_traffic(&cfg, g);
+        assert!(t.act_read > (g.m * g.k) as u64, "must re-read activations");
+    }
+
+    #[test]
+    fn weights_always_read_once_when_fitting() {
+        let cfg = ArrayConfig::tpu_v1();
+        let g = Gemm {
+            m: 50_000,
+            k: 512,
+            n: 512,
+        };
+        let t = gemm_traffic(&cfg, g);
+        assert_eq!(t.wgt_read, (g.k * g.n) as u64);
+    }
+
+    #[test]
+    fn k_split_spills_partial_sums() {
+        let mut cfg = ArrayConfig::test_small();
+        cfg.sram_wgt_bytes = 1 << 10; // 1 KiB weight buffer
+                                      // One 32-col stripe of K=4096 needs 128 KiB ≫ 1 KiB → K splits.
+        let g = Gemm {
+            m: 64,
+            k: 4096,
+            n: 64,
+        };
+        let t = gemm_traffic(&cfg, g);
+        assert!(t.psum_rw > 0, "got {t:?}");
+    }
+
+    #[test]
+    fn traffic_scales_with_bytes_per_elem() {
+        let mut cfg = ArrayConfig::tpu_v1();
+        let g = Gemm {
+            m: 128,
+            k: 128,
+            n: 128,
+        };
+        let t1 = gemm_traffic(&cfg, g).total();
+        cfg.bytes_per_elem = 2;
+        let t2 = gemm_traffic(&cfg, g).total();
+        assert_eq!(t2, 2 * t1);
+    }
+}

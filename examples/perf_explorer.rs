@@ -1,0 +1,57 @@
+//! Performance explorer: evaluate any zoo network under all four
+//! protection schemes on the TPU-v1-class simulator.
+//!
+//! Run with `cargo run --release -p guardnn --example perf_explorer -- <network> [training]`
+//! where `<network>` is one of: alexnet, vgg, googlenet, resnet, mobilenet,
+//! vit, bert, dlrm, wav2vec2.
+
+use guardnn::perf::{evaluate_all, EvalConfig, Mode, Scheme};
+use guardnn_models::zoo;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "mobilenet".to_string());
+    let training = args.next().as_deref() == Some("training");
+    let Some(net) = zoo::by_name(&name) else {
+        eprintln!("unknown network {name:?}; try: alexnet vgg googlenet resnet mobilenet vit bert dlrm wav2vec2");
+        std::process::exit(1);
+    };
+    let mode = if training {
+        Mode::Training { batch: 4 }
+    } else {
+        Mode::Inference
+    };
+    println!(
+        "{} — {} ({} params, {:.2} GMACs/forward)",
+        net.name(),
+        if training {
+            "one training step, batch 4"
+        } else {
+            "single-input inference"
+        },
+        net.param_count(),
+        net.total_macs() as f64 / 1e9,
+    );
+
+    let results = evaluate_all(&net, mode, &EvalConfig::default());
+    let np_ns = results
+        .iter()
+        .find(|(s, _)| *s == Scheme::NoProtection)
+        .map(|(_, r)| r.exec_ns)
+        .expect("NP present");
+    println!(
+        "{:<12} {:>12} {:>12} {:>10} {:>12} {:>10}",
+        "scheme", "data (MB)", "meta (MB)", "+traffic", "time (ms)", "normalized"
+    );
+    for (_, r) in &results {
+        println!(
+            "{:<12} {:>12.2} {:>12.2} {:>9.2}% {:>12.3} {:>10.4}",
+            r.scheme,
+            r.data_bytes as f64 / 1e6,
+            r.meta_bytes as f64 / 1e6,
+            r.traffic_increase() * 100.0,
+            r.exec_ns / 1e6,
+            r.exec_ns / np_ns,
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! End-to-end integration: the full GuardNN protocol across crypto,
+//! device, host, and memory-protection crates.
+
+use guardnn::device::GuardNnDevice;
+use guardnn::host::UntrustedHost;
+use guardnn::isa::{Instruction, Response};
+use guardnn::session::RemoteUser;
+use guardnn::testnet;
+use guardnn::GuardNnError;
+
+fn fresh(seed: u64) -> (GuardNnDevice, RemoteUser) {
+    let (device, manufacturer_pk) = GuardNnDevice::provision(seed, seed.wrapping_mul(31));
+    let user = RemoteUser::new(manufacturer_pk, seed ^ 0x55);
+    (device, user)
+}
+
+#[test]
+fn mlp_inference_with_integrity_matches_reference() {
+    let (mut device, mut user) = fresh(1);
+    let net = testnet::tiny_mlp();
+    let weights = testnet::tiny_mlp_weights(7);
+    let input = vec![10, -20, 30, -40, 50, -60, 70, -80];
+    let out = UntrustedHost::new()
+        .run_inference(&mut device, &mut user, &net, &weights, &input, true)
+        .expect("protocol");
+    assert_eq!(out, testnet::tiny_mlp_reference(&weights, &input));
+}
+
+#[test]
+fn cnn_inference_without_integrity_matches_reference() {
+    let (mut device, mut user) = fresh(2);
+    let net = testnet::tiny_cnn();
+    let weights = testnet::deterministic_weights(&net, 4);
+    let input: Vec<i32> = (0..16).map(|i| i * i % 7 - 3).collect();
+    let out = UntrustedHost::new()
+        .run_inference(&mut device, &mut user, &net, &weights, &input, false)
+        .expect("protocol");
+    assert_eq!(out, testnet::reference_forward(&net, &weights, &input));
+}
+
+#[test]
+fn multiple_inputs_in_one_session() {
+    // Re-running the full protocol per input re-keys each time; but the
+    // same device can also serve several sequential sessions.
+    let (mut device, mut user) = fresh(3);
+    let net = testnet::tiny_mlp();
+    let weights = testnet::tiny_mlp_weights(1);
+    for trial in 0..3 {
+        let input: Vec<i32> = (0..8).map(|i| i + trial).collect();
+        let out = UntrustedHost::new()
+            .run_inference(&mut device, &mut user, &net, &weights, &input, true)
+            .expect("protocol");
+        assert_eq!(
+            out,
+            testnet::tiny_mlp_reference(&weights, &input),
+            "trial {trial}"
+        );
+    }
+}
+
+#[test]
+fn wrong_manufacturer_rejected() {
+    let (mut device, _) = fresh(4);
+    // User trusts a DIFFERENT manufacturer.
+    let (_, wrong_pk) = GuardNnDevice::provision(99, 999);
+    let mut user = RemoteUser::new(wrong_pk, 5);
+    let Response::Pk(cert) = device.execute(Instruction::GetPk).expect("getpk") else {
+        panic!("expected Pk");
+    };
+    assert_eq!(
+        user.authenticate_device(&cert),
+        Err(GuardNnError::BadCertificate)
+    );
+}
+
+#[test]
+fn host_cannot_reorder_weights_undetected() {
+    // Load weights into the WRONG layers: the computation garbles or
+    // shape-checks, and with integrity the attestation chain records the
+    // actual SetWeight order — the user's expected chain will not match.
+    let (mut device, mut user) = fresh(5);
+    let net = testnet::tiny_mlp();
+    let weights = testnet::tiny_mlp_weights(2);
+
+    let Response::Pk(cert) = device.execute(Instruction::GetPk).expect("pk") else {
+        panic!()
+    };
+    user.authenticate_device(&cert).expect("auth");
+    let up = user.begin_session();
+    let Response::SessionInit { device_public } = device
+        .execute(Instruction::InitSession {
+            user_public: up,
+            enable_integrity: true,
+        })
+        .expect("init")
+    else {
+        panic!()
+    };
+    user.complete_session(&device_public).expect("session");
+    device
+        .execute(Instruction::LoadModel {
+            network: net.clone(),
+        })
+        .expect("load");
+
+    // Swap the two layers' weights: shapes differ (8×4 vs 4×2), so the
+    // device rejects outright.
+    let msg = user.encrypt_tensor(&weights[1]).expect("enc");
+    let err = device
+        .execute(Instruction::SetWeight {
+            layer: 0,
+            message: msg,
+        })
+        .unwrap_err();
+    assert!(matches!(err, GuardNnError::ShapeMismatch { .. }));
+}
+
+#[test]
+fn export_before_forward_rejected() {
+    let (mut device, mut user) = fresh(6);
+    let net = testnet::tiny_mlp();
+    let Response::Pk(cert) = device.execute(Instruction::GetPk).expect("pk") else {
+        panic!()
+    };
+    user.authenticate_device(&cert).expect("auth");
+    let up = user.begin_session();
+    let Response::SessionInit { device_public } = device
+        .execute(Instruction::InitSession {
+            user_public: up,
+            enable_integrity: false,
+        })
+        .expect("init")
+    else {
+        panic!()
+    };
+    user.complete_session(&device_public).expect("session");
+    device
+        .execute(Instruction::LoadModel { network: net })
+        .expect("load");
+    let err = device.execute(Instruction::ExportOutput).unwrap_err();
+    assert_eq!(err, GuardNnError::InvalidState("no output computed"));
+}
+
+#[test]
+fn session_reinit_clears_state() {
+    let (mut device, mut user) = fresh(7);
+    let net = testnet::tiny_mlp();
+    let weights = testnet::tiny_mlp_weights(1);
+    let input = vec![1; 8];
+    UntrustedHost::new()
+        .run_inference(&mut device, &mut user, &net, &weights, &input, true)
+        .expect("first run");
+    // A new InitSession wipes keys and model state: Forward must fail until
+    // the model is reloaded.
+    let up = user.begin_session();
+    let Response::SessionInit { .. } = device
+        .execute(Instruction::InitSession {
+            user_public: up,
+            enable_integrity: true,
+        })
+        .expect("reinit")
+    else {
+        panic!()
+    };
+    let err = device
+        .execute(Instruction::Forward { layer: 0 })
+        .unwrap_err();
+    assert_eq!(err, GuardNnError::InvalidState("no model loaded"));
+}

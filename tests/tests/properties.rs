@@ -1,0 +1,153 @@
+//! Property-based tests (proptest) over the core invariants.
+
+use guardnn_crypto::cmac::Cmac;
+use guardnn_crypto::ctr::AesCtr;
+use guardnn_crypto::sha256::Sha256;
+use guardnn_memprot::cache::MetaCache;
+use guardnn_memprot::functional::ProtectedMemory;
+use guardnn_memprot::vn::VersionCounters;
+use guardnn_models::graph::ExecutionPlan;
+use guardnn_models::layer::{conv, fc};
+use guardnn_models::{ConvSpec, Network, Op};
+use proptest::prelude::*;
+
+proptest! {
+    /// AES-CTR is an involution for any (address, version, data).
+    #[test]
+    fn ctr_round_trip(addr in 0u64..1 << 40, vn in any::<u64>(), data in proptest::collection::vec(any::<u8>(), 1..256)) {
+        let addr = addr & !0xF; // 16-byte aligned
+        let ctr = AesCtr::new(&[0x33; 16]);
+        let mut buf = data.clone();
+        ctr.apply_range(addr, vn, &mut buf);
+        ctr.apply_range(addr, vn, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    /// Distinct (address, VN) pairs produce distinct keystream pads.
+    #[test]
+    fn ctr_pads_distinct(a1 in 0u64..1 << 30, a2 in 0u64..1 << 30, v1 in any::<u64>(), v2 in any::<u64>()) {
+        prop_assume!((a1, v1) != (a2, v2));
+        let ctr = AesCtr::new(&[0x44; 16]);
+        let p1 = ctr.pad(guardnn_crypto::ctr::CounterBlock::new(a1, v1));
+        let p2 = ctr.pad(guardnn_crypto::ctr::CounterBlock::new(a2, v2));
+        prop_assert_ne!(p1, p2);
+    }
+
+    /// CMAC verification accepts the genuine tag and rejects any single
+    /// bit flip in the message.
+    #[test]
+    fn cmac_detects_bit_flips(data in proptest::collection::vec(any::<u8>(), 1..128), bit in 0usize..1024) {
+        let cmac = Cmac::new(&[0x55; 16]);
+        let tag = cmac.compute(&data);
+        prop_assert!(cmac.verify(&data, &tag));
+        let mut mutated = data.clone();
+        let idx = (bit / 8) % mutated.len();
+        mutated[idx] ^= 1 << (bit % 8);
+        prop_assert!(!cmac.verify(&mutated, &tag));
+    }
+
+    /// Streaming SHA-256 equals one-shot for any split point.
+    #[test]
+    fn sha256_streaming_consistent(data in proptest::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    /// Protected memory round-trips any aligned write under any VN, and
+    /// the stored bytes never equal the plaintext.
+    #[test]
+    fn protected_memory_round_trip(
+        addr in (0u64..1 << 20).prop_map(|a| a & !0xF),
+        vn in any::<u64>(),
+        data in proptest::collection::vec(any::<u8>(), 16..256),
+    ) {
+        let mut mem = ProtectedMemory::new(&[0x66; 16], Some([0x77; 16]));
+        mem.write(addr, &data, vn);
+        let back = mem.read(addr, data.len(), vn).expect("verified read");
+        prop_assert_eq!(&back, &data);
+        // 16+ bytes of randomized CTR output colliding with plaintext is
+        // astronomically unlikely.
+        prop_assert_ne!(mem.raw(addr, data.len()), data);
+    }
+
+    /// Any tamper of any ciphertext byte inside a MACed chunk is detected.
+    #[test]
+    fn protected_memory_detects_tamper(offset in 0u64..512) {
+        let mut mem = ProtectedMemory::new(&[0x66; 16], Some([0x77; 16]));
+        mem.write(0, &[0xC3; 512], 9);
+        mem.tamper(offset, 0x80);
+        prop_assert!(mem.read(0, 512, 9).is_err());
+    }
+
+    /// Feature-write VNs never repeat over any interleaving of inputs and
+    /// passes.
+    #[test]
+    fn vn_uniqueness(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let mut vc = VersionCounters::new();
+        vc.next_input();
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(vc.feature_write_vn());
+        for new_input in ops {
+            if new_input {
+                vc.next_input();
+            } else {
+                vc.next_feature_write();
+            }
+            prop_assert!(seen.insert(vc.feature_write_vn()), "VN reused");
+        }
+    }
+
+    /// Cache invariant: the same line never produces two consecutive
+    /// misses without an intervening eviction, and flush is idempotent.
+    #[test]
+    fn cache_no_double_miss(addrs in proptest::collection::vec(0u64..1 << 16, 1..100)) {
+        let mut cache = MetaCache::new(64 << 10, 8); // big enough: no evictions
+        for &a in &addrs {
+            cache.access(a, false);
+            let second = cache.access(a, false);
+            prop_assert!(second.hit);
+        }
+        prop_assert!(cache.flush_dirty().is_empty()); // nothing dirty
+    }
+
+    /// The im2col GEMM mapping preserves MAC counts for arbitrary convs.
+    #[test]
+    fn conv_gemm_macs_preserved(
+        in_c in 1usize..16, out_c in 1usize..16, k in 1usize..5,
+        stride in 1usize..3, hw in 4usize..32, depthwise in any::<bool>(),
+    ) {
+        let spec = ConvSpec {
+            in_c,
+            out_c: if depthwise { in_c } else { out_c },
+            kh: k, kw: k, stride,
+            pad: k / 2,
+            in_h: hw, in_w: hw,
+            depthwise,
+        };
+        let layer = guardnn_models::Layer::new("c", Op::Conv(spec));
+        let gemm = layer.to_gemm().expect("conv maps");
+        prop_assert_eq!(gemm.macs(), layer.macs());
+    }
+
+    /// Training plans always run every forward before any backward, and
+    /// backward GEMMs preserve the forward MAC count.
+    #[test]
+    fn training_plan_invariants(batch in 1usize..5, seed in 0i32..100) {
+        let _ = seed;
+        let net = Network::new("p", vec![conv("c", 8, 2, 4, 3, 1, 1), fc("f", 1, 256, 10)]);
+        let plan = ExecutionPlan::training(&net, batch);
+        let first_bwd = plan
+            .passes()
+            .iter()
+            .position(|p| p.kind != guardnn_models::graph::PassKind::Forward);
+        if let Some(idx) = first_bwd {
+            prop_assert!(plan.passes()[..idx]
+                .iter()
+                .all(|p| p.kind == guardnn_models::graph::PassKind::Forward));
+        }
+        prop_assert!(plan.total_bytes(1) > 0);
+    }
+}

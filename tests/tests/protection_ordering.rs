@@ -1,0 +1,59 @@
+//! Cross-crate invariant: for any network shape, the protection schemes
+//! order as NP ≤ GuardNN_C ≤ GuardNN_CI ≤ BP in both traffic and time.
+
+use guardnn::perf::{evaluate_all, EvalConfig, Mode, Scheme};
+use guardnn_models::layer::{conv, fc};
+use guardnn_models::{Layer, Network, Op};
+use proptest::prelude::*;
+
+fn random_net(convs: usize, ch: usize, hw: usize, fc_out: usize) -> Network {
+    let mut layers: Vec<Layer> = Vec::new();
+    let mut in_c = 3;
+    for i in 0..convs {
+        layers.push(conv(format!("c{i}"), hw, in_c, ch, 3, 1, 1));
+        in_c = ch;
+    }
+    layers.push(Layer::new(
+        "pool",
+        Op::Eltwise {
+            elems: in_c * hw * hw / 4,
+            reads_per_elem: 4,
+        },
+    ));
+    layers.push(fc("fc", 1, in_c * hw * hw / 4, fc_out));
+    Network::new("prop-net", layers)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn scheme_ordering_invariant(
+        convs in 1usize..4,
+        ch in prop::sample::select(vec![4usize, 8, 16]),
+        hw in prop::sample::select(vec![8usize, 16, 32]),
+        fc_out in prop::sample::select(vec![10usize, 100]),
+        training in any::<bool>(),
+    ) {
+        let net = random_net(convs, ch, hw, fc_out);
+        let mode = if training { Mode::Training { batch: 2 } } else { Mode::Inference };
+        let results = evaluate_all(&net, mode, &EvalConfig::default());
+        let get = |s: Scheme| results.iter().find(|(sc, _)| *sc == s).map(|(_, r)| r).expect("present");
+        let np = get(Scheme::NoProtection);
+        let gc = get(Scheme::GuardNnC);
+        let gci = get(Scheme::GuardNnCi);
+        let bp = get(Scheme::Baseline);
+
+        // Traffic ordering.
+        prop_assert_eq!(np.meta_bytes, 0);
+        prop_assert_eq!(gc.meta_bytes, 0);
+        prop_assert!(gci.meta_bytes <= bp.meta_bytes);
+        // Identical data traffic.
+        prop_assert_eq!(np.data_bytes, bp.data_bytes);
+        prop_assert_eq!(np.data_bytes, gci.data_bytes);
+        // Time ordering (small tolerance for timing-model noise).
+        prop_assert!(np.exec_ns <= gc.exec_ns * 1.001);
+        prop_assert!(gc.exec_ns <= gci.exec_ns * 1.001);
+        prop_assert!(gci.exec_ns <= bp.exec_ns * 1.001);
+    }
+}

