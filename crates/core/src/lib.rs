@@ -48,6 +48,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod adversary;
 pub mod attestation;
 pub mod device;

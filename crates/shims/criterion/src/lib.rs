@@ -1,0 +1,269 @@
+//! Offline shim for the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! subset of the criterion 0.5 API used by the workspace benches:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], [`Throughput`],
+//! [`BenchmarkId`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Timing is a simple wall-clock sampling loop: each benchmark is
+//! warmed up briefly, then timed in batches until a time budget is
+//! exhausted, and the best observed ns/iter is printed together with the
+//! derived throughput when one was declared.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput declaration for a benchmark group, used to derive a
+/// bytes/sec or elements/sec rate from the measured iteration time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many bytes per iteration (decimal units).
+    BytesDecimal(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// Identifies a benchmark within a group, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id with a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A benchmark id carrying only a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Drives the timed closure of a single benchmark.
+pub struct Bencher {
+    /// Best observed nanoseconds per iteration.
+    best_ns: f64,
+    /// Total measurement budget.
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Self {
+            best_ns: f64::INFINITY,
+            budget,
+        }
+    }
+
+    /// Times `routine`, keeping the fastest observed batch average.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch-size calibration: grow the batch until one
+        // batch takes at least ~200µs so Instant overhead is negligible.
+        let mut batch: u64 = 1;
+        let batch_floor = Duration::from_micros(200);
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= batch_floor || batch >= 1 << 20 {
+                break;
+            }
+            batch = (batch * 4).min(1 << 20);
+        }
+        // Measurement: repeat batches until the budget is exhausted.
+        let deadline = Instant::now() + self.budget;
+        let mut samples = 0u32;
+        while samples < 3 || Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            if ns < self.best_ns {
+                self.best_ns = ns;
+            }
+            samples += 1;
+            if samples >= 1000 {
+                break;
+            }
+        }
+    }
+}
+
+/// A named collection of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the nominal sample count (scales the time budget here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    fn budget(&self) -> Duration {
+        // Real criterion defaults to 100 samples over ~5s; scale the shim's
+        // much smaller budget by the same ratio so `sample_size(10)` runs
+        // expensive benchmarks for less wall-clock time.
+        Duration::from_millis((200 * self.sample_size as u64 / 100).max(20))
+    }
+
+    /// Runs a benchmark identified by `id`.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.budget());
+        f(&mut b);
+        self.report(&id, b.best_ns);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.budget());
+        f(&mut b, input);
+        self.report(&id, b.best_ns);
+        self
+    }
+
+    fn report(&mut self, id: &BenchmarkId, ns: f64) {
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+                format!(
+                    "  thrpt: {:>10.1} MiB/s",
+                    n as f64 / ns * 1e9 / (1 << 20) as f64
+                )
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  thrpt: {:>10.1} Melem/s", n as f64 / ns * 1e9 / 1e6)
+            }
+            None => String::new(),
+        };
+        let label = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        println!("{label:<36} time: {ns:>12.1} ns/iter{rate}");
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op marker).
+    pub fn finish(&mut self) {}
+}
+
+/// Shim of criterion's top-level benchmark manager.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Accepts (and ignores) command-line configuration, for API parity.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 100,
+            criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        self
+    }
+
+    /// Prints the closing summary line.
+    pub fn final_summary(&self) {
+        println!("criterion-shim: {} benchmarks run", self.benchmarks_run);
+    }
+}
+
+/// Defines a function that runs each listed benchmark with a fresh
+/// [`Criterion`]. Mirrors criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines `main` to run each benchmark group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export for code that uses `criterion::black_box`.
+pub use std::hint::black_box;
