@@ -6,10 +6,13 @@
 //!    accelerator's 512-byte write granularity).
 //! 3. Systolic dataflow (WS / OS / IS) compute cycles.
 //!
+//! Ablations 1 and 2 fan their independent simulation points across the
+//! `guardnn::perf` worker pool.
+//!
 //! Run with `cargo run --release -p guardnn-bench --bin ablation`.
 
-use guardnn::perf::{evaluate, EvalConfig, Mode, Scheme};
-use guardnn_bench::{f, Table};
+use guardnn::perf::{evaluate_batch, EvalConfig, EvalJob, Mode, Parallelism, Scheme};
+use guardnn_bench::{announce_pool, f, Table};
 use guardnn_memprot::baseline::MeeConfig;
 use guardnn_memprot::guardnn::{GuardNnConfig, GuardNnEngine, Protection};
 use guardnn_memprot::harness::run_protected;
@@ -18,61 +21,72 @@ use guardnn_models::zoo;
 use guardnn_systolic::{simulate_gemm, ArrayConfig, Dataflow, TraceBuilder};
 
 fn main() {
+    let parallelism = Parallelism::Auto;
     let net = zoo::resnet50();
 
-    // 1. BP metadata-cache sweep.
+    // 1. BP metadata-cache sweep: NP once, then BP per cache size.
     println!("\nAblation 1 — BP metadata cache size (ResNet-50 inference)\n");
-    let mut t = Table::new(vec!["cache (KiB)", "traffic increase %", "normalized time"]);
-    let np = evaluate(
-        &net,
-        Mode::Inference,
-        Scheme::NoProtection,
-        &EvalConfig::default(),
-    );
-    for kib in [8u64, 16, 32, 64, 128, 256] {
-        let cfg = EvalConfig {
+    let cache_kib = [8u64, 16, 32, 64, 128, 256];
+    let mut jobs = vec![EvalJob {
+        network: &net,
+        mode: Mode::Inference,
+        scheme: Scheme::NoProtection,
+        cfg: EvalConfig::default(),
+    }];
+    jobs.extend(cache_kib.iter().map(|&kib| EvalJob {
+        network: &net,
+        mode: Mode::Inference,
+        scheme: Scheme::Baseline,
+        cfg: EvalConfig {
             mee: MeeConfig {
                 cache_bytes: kib << 10,
                 ..MeeConfig::default()
             },
             ..EvalConfig::default()
-        };
-        let bp = evaluate(&net, Mode::Inference, Scheme::Baseline, &cfg);
+        },
+    }));
+    announce_pool("evaluations", jobs.len(), parallelism);
+    let results = evaluate_batch(parallelism, &jobs);
+    let (np, bp_runs) = (&results[0], &results[1..]);
+    let mut t = Table::new(vec!["cache (KiB)", "traffic increase %", "normalized time"]);
+    for (kib, bp) in cache_kib.iter().zip(bp_runs) {
         t.row(vec![
             kib.to_string(),
             f(bp.traffic_increase() * 100.0, 2),
-            f(bp.normalized_to(&np), 4),
+            f(bp.normalized_to(np), 4),
         ]);
-        eprintln!("  BP cache {kib} KiB done");
     }
     t.print();
     println!("(GuardNN needs no metadata cache at all: its VNs are on-chip registers.)");
 
-    // 2. GuardNN MAC granularity sweep.
+    // 2. GuardNN MAC granularity sweep over a shared trace.
     println!("\nAblation 2 — GuardNN_CI MAC granularity (ResNet-50 inference)\n");
     let plan = ExecutionPlan::inference(&net);
     let array = ArrayConfig::tpu_v1();
     let tb = TraceBuilder::new(array, &plan);
     let trace = tb.build(&plan);
-    let mut t = Table::new(vec!["MAC chunk (B)", "traffic increase %"]);
-    for chunk in [64u64, 128, 256, 512, 1024, 4096] {
+    let chunks = [64u64, 128, 256, 512, 1024, 4096];
+    announce_pool("MAC-granularity points", chunks.len(), parallelism);
+    let summaries = parallelism.run(chunks.len(), |i| {
         let cfg = GuardNnConfig {
             protection: Protection::ConfidentialityIntegrity,
-            mac_chunk_bytes: chunk,
+            mac_chunk_bytes: chunks[i],
             ..Default::default()
         };
         let mut engine = GuardNnEngine::new(tb.footprint(), cfg);
-        let summary = run_protected(
+        run_protected(
             &trace,
             &mut engine,
             guardnn_dram::DramConfig::ddr4_2400_16gb(),
             array.clock_mhz,
-        );
+        )
+    });
+    let mut t = Table::new(vec!["MAC chunk (B)", "traffic increase %"]);
+    for (chunk, summary) in chunks.iter().zip(&summaries) {
         t.row(vec![
             chunk.to_string(),
             f(summary.traffic_increase() * 100.0, 2),
         ]);
-        eprintln!("  MAC chunk {chunk} B done");
     }
     t.print();
     println!("(The paper picks 512 B — the prototype accelerator's write granularity.)");

@@ -3,23 +3,29 @@
 //! TPU-v1-class simulated accelerator with 16 GB DDR4.
 //!
 //! Run with
-//! `cargo run --release -p guardnn-bench --bin fig3 -- [inference|training|both] [--json]`
-//! (`--json` additionally emits one machine-readable record per run).
+//! `cargo run --release -p guardnn-bench --bin fig3 -- [inference|training|both|smoke] [--json] [--serial]`
+//! (`--json` additionally emits one machine-readable record per run;
+//! `smoke` runs only the two smallest networks of the inference suite —
+//! the CI wall-clock canary; `--serial` disables the worker pool).
 
-use guardnn::perf::{evaluate_all, EvalConfig, Mode, Scheme};
+use guardnn::perf::{evaluate_suite, EvalConfig, Mode, Parallelism, Scheme, SIMULATED_SCHEMES};
 use guardnn_bench::json::run_summary_json;
-use guardnn_bench::{f, Table};
+use guardnn_bench::{announce_pool, f, Table};
 use guardnn_models::{zoo, Network};
 
-fn run_suite(title: &str, nets: &[Network], mode: Mode, json: bool) {
+fn run_suite(title: &str, nets: &[Network], mode: Mode, cfg: &EvalConfig, json: bool) {
     println!("\nFigure 3 — {title}: execution time normalized to no protection (NP)\n");
-    let cfg = EvalConfig::default();
     let mut table = Table::new(vec!["network", "GuardNN_C", "GuardNN_CI", "BP"]);
     let mut geo = [1.0f64; 3];
-    for net in nets {
-        let results = evaluate_all(net, mode, &cfg);
+    announce_pool(
+        "network evaluations",
+        nets.len() * SIMULATED_SCHEMES.len(),
+        cfg.parallelism,
+    );
+    let suite = evaluate_suite(nets, mode, cfg);
+    for (net, results) in nets.iter().zip(&suite) {
         if json {
-            for (_, r) in &results {
+            for (_, r) in results {
                 println!("{}", run_summary_json(net.name(), title, r).render());
             }
         }
@@ -38,7 +44,6 @@ fn run_suite(title: &str, nets: &[Network], mode: Mode, json: bool) {
         geo[1] *= gci;
         geo[2] *= bp;
         table.row(vec![net.name().to_string(), f(gc, 4), f(gci, 4), f(bp, 4)]);
-        eprintln!("  done: {}", net.name());
     }
     let n = nets.len() as f64;
     table.row(vec![
@@ -50,19 +55,42 @@ fn run_suite(title: &str, nets: &[Network], mode: Mode, json: bool) {
     table.print();
 }
 
+/// The `k` networks of `nets` with the fewest MACs (a proxy for trace and
+/// therefore simulation size) — the CI smoke subset.
+fn smallest(mut nets: Vec<Network>, k: usize) -> Vec<Network> {
+    nets.sort_by_key(Network::total_macs);
+    nets.truncate(k);
+    nets
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
+    let mut cfg = EvalConfig::default();
+    if args.iter().any(|a| a == "--serial") {
+        cfg.parallelism = Parallelism::Serial;
+    }
     let arg = args
         .iter()
-        .find(|a| *a != "--json")
+        .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "both".to_string());
+    if arg == "smoke" {
+        run_suite(
+            "smoke (two smallest inference networks)",
+            &smallest(zoo::figure3_inference_suite(), 2),
+            Mode::Inference,
+            &cfg,
+            json,
+        );
+        return;
+    }
     if arg == "inference" || arg == "both" {
         run_suite(
             "inference (Fig. 3a)",
             &zoo::figure3_inference_suite(),
             Mode::Inference,
+            &cfg,
             json,
         );
         println!(
@@ -74,6 +102,7 @@ fn main() {
             "training (Fig. 3b)",
             &zoo::figure3_training_suite(),
             Mode::Training { batch: 4 },
+            &cfg,
             json,
         );
         println!(

@@ -7,52 +7,82 @@
 //! and BP at each point — showing that the DNN-specific protection's
 //! near-zero overhead is not an artifact of one configuration.
 //!
+//! Every sweep point is an independent (cfg, mode, scheme) evaluation, so
+//! each sweep runs as one `evaluate_batch` across the worker pool.
+//!
 //! Run with `cargo run --release -p guardnn-bench --bin sweep`.
 
-use guardnn::perf::{evaluate, EvalConfig, Mode, Scheme};
-use guardnn_bench::{f, Table};
+use guardnn::perf::{evaluate_batch, EvalConfig, EvalJob, Mode, Parallelism, Scheme};
+use guardnn_bench::{announce_pool, f, Table};
 use guardnn_models::zoo;
 use guardnn_systolic::ArrayConfig;
 
-fn normalized(cfg: &EvalConfig, mode: Mode, scheme: Scheme) -> f64 {
-    let net = zoo::resnet50();
-    let np = evaluate(&net, mode, Scheme::NoProtection, cfg);
-    evaluate(&net, mode, scheme, cfg).normalized_to(&np)
-}
+/// Per sweep point: NP (the normalization base), GuardNN_CI, BP.
+const POINT_SCHEMES: [Scheme; 3] = [Scheme::NoProtection, Scheme::GuardNnCi, Scheme::Baseline];
 
 fn main() {
+    let parallelism = Parallelism::Auto;
+    let net = zoo::resnet50();
+    let net = &net;
+
     println!("\nSweep 1 — PE-array scale (ResNet-50 inference, normalized time)\n");
+    let dims = [64usize, 128, 256, 512];
+    let jobs: Vec<EvalJob<'_>> = dims
+        .iter()
+        .flat_map(|&dim| {
+            let cfg = EvalConfig {
+                array: ArrayConfig {
+                    rows: dim,
+                    cols: dim,
+                    ..ArrayConfig::tpu_v1()
+                },
+                ..EvalConfig::default()
+            };
+            POINT_SCHEMES.into_iter().map(move |scheme| EvalJob {
+                network: net,
+                mode: Mode::Inference,
+                scheme,
+                cfg,
+            })
+        })
+        .collect();
+    announce_pool("sweep evaluations", jobs.len(), parallelism);
+    let results = evaluate_batch(parallelism, &jobs);
     let mut t = Table::new(vec!["array", "PEs", "GuardNN_CI", "BP"]);
-    for dim in [64usize, 128, 256, 512] {
-        let cfg = EvalConfig {
-            array: ArrayConfig {
-                rows: dim,
-                cols: dim,
-                ..ArrayConfig::tpu_v1()
-            },
-            ..EvalConfig::default()
-        };
-        let gci = normalized(&cfg, Mode::Inference, Scheme::GuardNnCi);
-        let bp = normalized(&cfg, Mode::Inference, Scheme::Baseline);
+    for (dim, point) in dims.iter().zip(results.chunks(POINT_SCHEMES.len())) {
+        let [np, gci, bp] = point else { unreachable!() };
         t.row(vec![
             format!("{dim}x{dim}"),
             (dim * dim).to_string(),
-            f(gci, 4),
-            f(bp, 4),
+            f(gci.normalized_to(np), 4),
+            f(bp.normalized_to(np), 4),
         ]);
-        eprintln!("  array {dim}x{dim} done");
     }
     t.print();
 
     println!("\nSweep 2 — training batch size (ResNet-50, normalized time)\n");
+    let batches = [1usize, 2, 4, 8, 16];
+    let jobs: Vec<EvalJob<'_>> = batches
+        .iter()
+        .flat_map(|&batch| {
+            POINT_SCHEMES.into_iter().map(move |scheme| EvalJob {
+                network: net,
+                mode: Mode::Training { batch },
+                scheme,
+                cfg: EvalConfig::default(),
+            })
+        })
+        .collect();
+    announce_pool("sweep evaluations", jobs.len(), parallelism);
+    let results = evaluate_batch(parallelism, &jobs);
     let mut t = Table::new(vec!["batch", "GuardNN_CI", "BP"]);
-    for batch in [1usize, 2, 4, 8, 16] {
-        let cfg = EvalConfig::default();
-        let mode = Mode::Training { batch };
-        let gci = normalized(&cfg, mode, Scheme::GuardNnCi);
-        let bp = normalized(&cfg, mode, Scheme::Baseline);
-        t.row(vec![batch.to_string(), f(gci, 4), f(bp, 4)]);
-        eprintln!("  batch {batch} done");
+    for (batch, point) in batches.iter().zip(results.chunks(POINT_SCHEMES.len())) {
+        let [np, gci, bp] = point else { unreachable!() };
+        t.row(vec![
+            batch.to_string(),
+            f(gci.normalized_to(np), 4),
+            f(bp.normalized_to(np), 4),
+        ]);
     }
     t.print();
     println!("\n(GuardNN's overhead should stay ~flat; BP's grows with memory pressure.)");

@@ -3,29 +3,45 @@
 //!
 //! Run with `cargo run --release -p guardnn-bench --bin traffic`.
 
-use guardnn::perf::{evaluate, EvalConfig, Mode, Scheme};
+use guardnn::perf::{evaluate_batch, EvalConfig, EvalJob, Mode, Scheme};
 use guardnn_bench::json::run_summary_json;
-use guardnn_bench::{f, Table};
+use guardnn_bench::{announce_pool, f, Table};
 use guardnn_models::{zoo, Network};
+
+/// Traffic increase only needs the two protected schemes per network.
+const TRAFFIC_SCHEMES: [Scheme; 2] = [Scheme::GuardNnCi, Scheme::Baseline];
 
 fn run_suite(title: &str, nets: &[Network], mode: Mode, json: bool) -> (f64, f64) {
     println!("\nMemory-traffic increase — {title} (% over data traffic)\n");
     let cfg = EvalConfig::default();
+    let jobs: Vec<EvalJob<'_>> = nets
+        .iter()
+        .flat_map(|network| {
+            TRAFFIC_SCHEMES.into_iter().map(move |scheme| EvalJob {
+                network,
+                mode,
+                scheme,
+                cfg,
+            })
+        })
+        .collect();
+    announce_pool("evaluations", jobs.len(), cfg.parallelism);
+    let results = evaluate_batch(cfg.parallelism, &jobs);
     let mut table = Table::new(vec!["network", "GuardNN_CI %", "BP %"]);
     let (mut sum_gci, mut sum_bp) = (0.0, 0.0);
-    for net in nets {
-        let gci_run = evaluate(net, mode, Scheme::GuardNnCi, &cfg);
-        let bp_run = evaluate(net, mode, Scheme::Baseline, &cfg);
+    for (net, runs) in nets.iter().zip(results.chunks(TRAFFIC_SCHEMES.len())) {
+        let [gci_run, bp_run] = runs else {
+            unreachable!()
+        };
         if json {
-            println!("{}", run_summary_json(net.name(), title, &gci_run).render());
-            println!("{}", run_summary_json(net.name(), title, &bp_run).render());
+            println!("{}", run_summary_json(net.name(), title, gci_run).render());
+            println!("{}", run_summary_json(net.name(), title, bp_run).render());
         }
         let gci = gci_run.traffic_increase() * 100.0;
         let bp = bp_run.traffic_increase() * 100.0;
         sum_gci += gci;
         sum_bp += bp;
         table.row(vec![net.name().to_string(), f(gci, 2), f(bp, 2)]);
-        eprintln!("  done: {}", net.name());
     }
     let n = nets.len() as f64;
     table.row(vec![

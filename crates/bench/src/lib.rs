@@ -78,6 +78,16 @@ pub fn pct(v: f64) -> String {
     format!("{v:+.1}")
 }
 
+/// Prints the standard progress line for a worker-pool batch: the pool is
+/// sized by [`guardnn::perf::Parallelism::workers_for`], so the count matches the threads
+/// actually spawned.
+pub fn announce_pool(what: &str, jobs: usize, parallelism: guardnn::perf::Parallelism) {
+    eprintln!(
+        "  running {jobs} {what} across {} workers...",
+        parallelism.workers_for(jobs)
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,6 +5,37 @@
 //! the §III-C traffic numbers: build the execution plan, generate the
 //! address trace on the TPU-v1-class array, run it through the chosen
 //! protection engine, and time the result on the DDR4 model.
+//!
+//! Evaluations of different (network, mode, scheme) points are independent,
+//! so the batch entry points ([`evaluate_all_parallel`], [`evaluate_suite`],
+//! [`evaluate_batch`]) fan them out across threads according to the
+//! [`Parallelism`] knob on [`EvalConfig`]; results come back in input order
+//! and are bit-identical to the serial path.
+//!
+//! # Example
+//!
+//! ```
+//! use guardnn::perf::{evaluate_all_parallel, EvalConfig, Mode, Parallelism, Scheme};
+//! use guardnn_models::{layer, Network};
+//!
+//! let net = Network::new(
+//!     "tiny",
+//!     vec![layer::conv("c1", 8, 3, 4, 3, 1, 1), layer::fc("f1", 1, 4 * 8 * 8, 10)],
+//! );
+//! let cfg = EvalConfig {
+//!     parallelism: Parallelism::Threads(2),
+//!     ..EvalConfig::default()
+//! };
+//! let results = evaluate_all_parallel(&net, Mode::Inference, &cfg);
+//! // One summary per scheme, in Scheme::all() order.
+//! assert_eq!(results.len(), 4);
+//! assert_eq!(results[0].0, Scheme::NoProtection);
+//! let np = &results[0].1;
+//! // Unprotected execution moves no metadata and everything else does not
+//! // run faster than it.
+//! assert_eq!(np.meta_bytes, 0);
+//! assert!(results.iter().all(|(_, r)| r.exec_ns >= np.exec_ns - 1e-9));
+//! ```
 
 use guardnn_dram::DramConfig;
 use guardnn_memprot::baseline::{BaselineMee, MeeConfig};
@@ -63,6 +94,74 @@ pub enum Mode {
     },
 }
 
+/// Worker-thread policy for the batch evaluation entry points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Run every job on the calling thread.
+    Serial,
+    /// One worker per available CPU ([`std::thread::available_parallelism`]).
+    Auto,
+    /// Exactly this many workers (clamped to at least 1).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// The number of worker threads this policy resolves to.
+    pub fn workers(&self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Parallelism::Threads(n) => (*n).max(1),
+        }
+    }
+
+    /// The worker count actually used for a batch of `n` jobs (the pool
+    /// never exceeds the job count, and a zero-job batch needs no pool).
+    pub fn workers_for(&self, n: usize) -> usize {
+        self.workers().min(n).max(1)
+    }
+
+    /// Runs `f(0..n)` across the resolved workers and returns the results
+    /// in index order, regardless of completion order. Jobs are handed out
+    /// work-stealing style (shared atomic counter), so uneven job costs
+    /// still pack onto the workers; with one worker this degenerates to a
+    /// plain serial map on the calling thread, producing identical results.
+    pub fn run<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.workers_for(n);
+        if workers <= 1 || n == 0 {
+            return (0..n).map(f).collect();
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots: Vec<std::sync::Mutex<Option<T>>> =
+            (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    *slots[i].lock().expect("worker panicked") = Some(f(i));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("worker panicked")
+                    .expect("every index visited")
+            })
+            .collect()
+    }
+}
+
 /// Evaluation configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct EvalConfig {
@@ -72,6 +171,11 @@ pub struct EvalConfig {
     pub dram: DramConfig,
     /// Baseline-protection parameters.
     pub mee: MeeConfig,
+    /// Worker policy consulted by [`evaluate_all_parallel`] and
+    /// [`evaluate_suite`] (defaults to one worker per CPU). A single
+    /// [`evaluate`] is always single-threaded, and [`evaluate_batch`]
+    /// takes its worker policy as an explicit argument instead.
+    pub parallelism: Parallelism,
 }
 
 impl Default for EvalConfig {
@@ -80,6 +184,7 @@ impl Default for EvalConfig {
             array: ArrayConfig::tpu_v1(),
             dram: DramConfig::ddr4_2400_16gb(),
             mee: MeeConfig::default(),
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -112,11 +217,120 @@ pub fn evaluate(network: &Network, mode: Mode, scheme: Scheme, cfg: &EvalConfig)
     run_protected(&trace, engine.as_mut(), cfg.dram, array.clock_mhz)
 }
 
+/// The schemes that need their own DRAM simulation. GuardNN_C adds no
+/// metadata traffic at all (its version numbers are on-chip registers), so
+/// its run is identical to NP's and the batch entry points derive it from
+/// the NP summary instead of re-simulating.
+pub const SIMULATED_SCHEMES: [Scheme; 3] =
+    [Scheme::NoProtection, Scheme::GuardNnCi, Scheme::Baseline];
+
+/// Relabels an NP summary as GuardNN_C. Valid because GuardNN_C's engine
+/// emits zero metadata accesses on every path, so its simulated run is
+/// bit-identical to the unprotected one (the paper's ~1.01× for GuardNN_C
+/// comes from crypto latency, which this traffic model does not charge).
+fn guardnn_c_from_np(np: &RunSummary) -> RunSummary {
+    RunSummary {
+        scheme: Scheme::GuardNnC.label(),
+        ..np.clone()
+    }
+}
+
+/// Expands the three simulated runs (in [`SIMULATED_SCHEMES`] order) into
+/// the four reported schemes, in [`Scheme::all`] order.
+fn expand_schemes(mut simulated: Vec<RunSummary>) -> Vec<(Scheme, RunSummary)> {
+    let bp = simulated.pop().expect("BP simulated");
+    let gci = simulated.pop().expect("GuardNN_CI simulated");
+    let np = simulated.pop().expect("NP simulated");
+    let gc = guardnn_c_from_np(&np);
+    vec![
+        (Scheme::NoProtection, np),
+        (Scheme::GuardNnC, gc),
+        (Scheme::GuardNnCi, gci),
+        (Scheme::Baseline, bp),
+    ]
+}
+
 /// Evaluates all four schemes; returns summaries in [`Scheme::all`] order.
 pub fn evaluate_all(network: &Network, mode: Mode, cfg: &EvalConfig) -> Vec<(Scheme, RunSummary)> {
-    Scheme::all()
+    expand_schemes(
+        SIMULATED_SCHEMES
+            .into_iter()
+            .map(|s| evaluate(network, mode, s, cfg))
+            .collect(),
+    )
+}
+
+/// One (network, mode, scheme) evaluation point in a batch.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalJob<'a> {
+    /// Network to evaluate.
+    pub network: &'a Network,
+    /// Workload mode.
+    pub mode: Mode,
+    /// Protection scheme.
+    pub scheme: Scheme,
+    /// Full evaluation configuration for this point (jobs in one batch may
+    /// differ, e.g. a PE-array or metadata-cache sweep).
+    pub cfg: EvalConfig,
+}
+
+/// Evaluates a batch of jobs across `parallelism` workers; results come
+/// back in job order and are identical to evaluating each job serially.
+///
+/// Only the explicit `parallelism` argument sizes the worker pool; the
+/// `parallelism` field inside each job's [`EvalConfig`] is ignored here
+/// (a job describes one simulation, which is always single-threaded).
+pub fn evaluate_batch(parallelism: Parallelism, jobs: &[EvalJob<'_>]) -> Vec<RunSummary> {
+    parallelism.run(jobs.len(), |i| {
+        let job = &jobs[i];
+        evaluate(job.network, job.mode, job.scheme, &job.cfg)
+    })
+}
+
+/// Parallel [`evaluate_all`]: the simulated schemes fan across
+/// `cfg.parallelism` workers; returns all four schemes in [`Scheme::all`]
+/// order. Output is bit-identical to the serial path.
+pub fn evaluate_all_parallel(
+    network: &Network,
+    mode: Mode,
+    cfg: &EvalConfig,
+) -> Vec<(Scheme, RunSummary)> {
+    let jobs: Vec<EvalJob<'_>> = SIMULATED_SCHEMES
         .into_iter()
-        .map(|s| (s, evaluate(network, mode, s, cfg)))
+        .map(|scheme| EvalJob {
+            network,
+            mode,
+            scheme,
+            cfg: *cfg,
+        })
+        .collect();
+    expand_schemes(evaluate_batch(cfg.parallelism, &jobs))
+}
+
+/// Evaluates every network of a suite under all four schemes as one
+/// (network × scheme) batch, so a whole figure's worth of points shares
+/// the worker pool. Returns one `Vec<(Scheme, RunSummary)>` per network,
+/// in input order, each in [`Scheme::all`] order.
+pub fn evaluate_suite(
+    networks: &[Network],
+    mode: Mode,
+    cfg: &EvalConfig,
+) -> Vec<Vec<(Scheme, RunSummary)>> {
+    let jobs: Vec<EvalJob<'_>> = networks
+        .iter()
+        .flat_map(|network| {
+            SIMULATED_SCHEMES.into_iter().map(move |scheme| EvalJob {
+                network,
+                mode,
+                scheme,
+                cfg: *cfg,
+            })
+        })
+        .collect();
+    let results = evaluate_batch(cfg.parallelism, &jobs);
+    results
+        .chunks(SIMULATED_SCHEMES.len())
+        .map(|chunk| expand_schemes(chunk.to_vec()))
         .collect()
 }
 
@@ -171,6 +385,66 @@ mod tests {
             &cfg,
         );
         assert!(tr.data_bytes > 2 * inf.data_bytes);
+    }
+
+    fn summaries_bit_identical(a: &RunSummary, b: &RunSummary) -> bool {
+        a.scheme == b.scheme
+            && a.data_bytes == b.data_bytes
+            && a.meta_bytes == b.meta_bytes
+            && a.dram == b.dram
+            && a.compute_cycles == b.compute_cycles
+            && a.exec_ns.to_bits() == b.exec_ns.to_bits()
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let serial_cfg = EvalConfig {
+            parallelism: Parallelism::Serial,
+            ..EvalConfig::default()
+        };
+        let parallel_cfg = EvalConfig {
+            parallelism: Parallelism::Threads(3),
+            ..EvalConfig::default()
+        };
+        let net = small_net();
+        for mode in [Mode::Inference, Mode::Training { batch: 2 }] {
+            let serial = evaluate_all(&net, mode, &serial_cfg);
+            let parallel = evaluate_all_parallel(&net, mode, &parallel_cfg);
+            assert_eq!(serial.len(), parallel.len());
+            for ((s_scheme, s_run), (p_scheme, p_run)) in serial.iter().zip(&parallel) {
+                assert_eq!(s_scheme, p_scheme);
+                assert!(
+                    summaries_bit_identical(s_run, p_run),
+                    "{mode:?}/{s_scheme:?}: {s_run:?} != {p_run:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn suite_matches_per_network_runs() {
+        let cfg = EvalConfig {
+            parallelism: Parallelism::Threads(2),
+            ..EvalConfig::default()
+        };
+        let nets = [small_net(), small_net()];
+        let suite = evaluate_suite(&nets, Mode::Inference, &cfg);
+        assert_eq!(suite.len(), 2);
+        for (net, per_net) in nets.iter().zip(&suite) {
+            let direct = evaluate_all(net, Mode::Inference, &cfg);
+            for ((a_scheme, a_run), (b_scheme, b_run)) in per_net.iter().zip(&direct) {
+                assert_eq!(a_scheme, b_scheme);
+                assert!(summaries_bit_identical(a_run, b_run));
+            }
+        }
+    }
+
+    #[test]
+    fn parallelism_run_preserves_index_order() {
+        let squares = Parallelism::Threads(4).run(100, |i| i * i);
+        assert_eq!(squares, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(Parallelism::Serial.run(0, |i| i), Vec::<usize>::new());
+        assert!(Parallelism::Auto.workers() >= 1);
     }
 
     #[test]

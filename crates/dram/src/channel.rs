@@ -1,4 +1,16 @@
 //! Per-channel command scheduling with an FR-FCFS reordering window.
+//!
+//! The scheduler keeps its window in per-bank pending queues keyed by row
+//! (the open-row index), plus a channel-wide arrival-order deque and an
+//! incrementally maintained count of pending rows that mismatch their
+//! bank's open row. In the common streaming case (every pending request
+//! hits an open row) an FR-FCFS pick is O(1): the mismatch count is zero,
+//! so the oldest request — the front of the arrival deque — is the oldest
+//! hit. Otherwise one pass over the per-bank row queues (O(banks) for
+//! realistic windows) yields the oldest hit, the oldest request, and the
+//! background row-preparation candidate together — instead of the three
+//! O(window) scans plus O(window) removal a flat queue needs per issued
+//! command.
 
 use crate::bank::{Bank, RowOutcome};
 use crate::config::DramConfig;
@@ -18,20 +30,77 @@ pub struct Request {
     pub is_write: bool,
 }
 
-/// One memory channel: banks, scheduler queue, shared data bus.
+/// A queued request body; its bank and row are the keys it is filed under.
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    /// Global arrival sequence number (FCFS tiebreak).
+    seq: u64,
+    bank_group: usize,
+    is_write: bool,
+}
+
+/// Pending requests for one row of one bank, in arrival order. Row queues
+/// are dropped when drained, so `fifo` is never empty and `front_seq`
+/// (cached to keep the scheduler's scan off the deque allocation) is
+/// always the seq of `fifo.front()`.
+#[derive(Clone, Debug)]
+struct RowQueue {
+    row: u64,
+    /// Seq of `fifo.front()`, cached for the pick/prep scans.
+    front_seq: u64,
+    fifo: VecDeque<Pending>,
+}
+
+/// One entry of the channel-wide arrival-order deque. Entries picked out
+/// of FCFS order are not removed eagerly; they are pruned lazily (an entry
+/// is stale once its seq has popped past its row queue's front).
+#[derive(Clone, Copy, Debug)]
+struct OrderEntry {
+    seq: u64,
+    bank: usize,
+    row: u64,
+}
+
+/// One memory channel: banks, scheduler queues, shared data bus.
 #[derive(Clone, Debug)]
 pub struct Channel {
     cfg: DramConfig,
     banks: Vec<Bank>,
-    queue: VecDeque<Request>,
+    /// Per-bank pending requests, grouped by row in arrival order. A
+    /// realistic window holds a handful of rows per bank, so the row list
+    /// is a plain vector scanned linearly.
+    pending: Vec<Vec<RowQueue>>,
+    /// Channel-wide arrival order (lazily pruned; see [`OrderEntry`]).
+    order: VecDeque<OrderEntry>,
+    /// Live (unissued) requests across all row queues.
+    queued: usize,
+    /// Next arrival sequence number.
+    next_seq: u64,
+    /// Per-bank count of row queues whose row is not the bank's open row —
+    /// the requests background row preparation could work on.
+    mismatched: Vec<usize>,
+    /// Sum of `mismatched` across banks; zero means every pending request
+    /// is a row hit and the scheduler can take the O(1) fast path.
+    mismatched_total: usize,
+    /// Cached oldest pending non-hit for background preparation:
+    /// `None` = stale (recompute), `Some(x)` = known answer.
+    mis_cache: Option<Option<(u64, usize, u64)>>,
+    /// Retired row-queue allocations, reused to avoid churn.
+    free_queues: Vec<VecDeque<Pending>>,
     /// Current scheduling time (cycle of the last issued column command).
     now: u64,
     /// Cycle at which the data bus becomes free.
     bus_free: u64,
-    /// Last column command cycle, per bank group (tCCD).
-    last_col: Vec<u64>,
+    /// Last column command cycle, per bank group (tCCD_L), `None` until a
+    /// group has issued its first column command.
+    last_col: Vec<Option<u64>>,
+    /// Last column command cycle in any group (tCCD_S).
+    last_col_any: Option<u64>,
     /// Whether the previous burst was a write (turnaround penalties).
     last_was_write: bool,
+    /// Cycle the most recent write burst left the data bus (tWTR counts
+    /// from here, not from the WRITE command).
+    last_write_end: u64,
     /// Recent activate timestamps for the tFAW window.
     recent_acts: VecDeque<u64>,
     /// Next scheduled refresh.
@@ -43,16 +112,27 @@ impl Channel {
     /// Creates an idle channel.
     pub fn new(cfg: DramConfig) -> Self {
         let banks = vec![Bank::new(); cfg.banks_per_channel()];
-        let last_col = vec![0; cfg.bank_groups];
+        let pending = vec![Vec::new(); cfg.banks_per_channel()];
+        let mismatched = vec![0; cfg.banks_per_channel()];
+        let last_col = vec![None; cfg.bank_groups];
         Self {
             next_refresh: cfg.timing.refi,
             cfg,
             banks,
-            queue: VecDeque::new(),
+            pending,
+            order: VecDeque::new(),
+            queued: 0,
+            next_seq: 0,
+            mismatched,
+            mismatched_total: 0,
+            mis_cache: Some(None),
+            free_queues: Vec::new(),
             now: 0,
             bus_free: 0,
             last_col,
+            last_col_any: None,
             last_was_write: false,
+            last_write_end: 0,
             recent_acts: VecDeque::new(),
             stats: DramStats::default(),
         }
@@ -61,15 +141,54 @@ impl Channel {
     /// Enqueues a transaction, issuing older ones when the scheduler window
     /// fills.
     pub fn push(&mut self, req: Request) {
-        self.queue.push_back(req);
-        while self.queue.len() > self.cfg.sched_window {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let p = Pending {
+            seq,
+            bank_group: req.bank_group,
+            is_write: req.is_write,
+        };
+        let rows = &mut self.pending[req.bank];
+        if let Some(rq) = rows.iter_mut().find(|rq| rq.row == req.row) {
+            rq.fifo.push_back(p);
+        } else {
+            let mut fifo = self.free_queues.pop().unwrap_or_default();
+            fifo.push_back(p);
+            rows.push(RowQueue {
+                row: req.row,
+                front_seq: seq,
+                fifo,
+            });
+            if self.banks[req.bank].open_row() != Some(req.row) {
+                self.mismatched[req.bank] += 1;
+                self.mismatched_total += 1;
+                // A new queue carries the youngest seq, so it only fills an
+                // empty (but valid) preparation cache.
+                if let Some(cached @ None) = &mut self.mis_cache {
+                    *cached = Some((seq, req.bank, req.row));
+                }
+            }
+        }
+        self.order.push_back(OrderEntry {
+            seq,
+            bank: req.bank,
+            row: req.row,
+        });
+        self.queued += 1;
+        while self.queued > self.cfg.sched_window {
             self.issue_one();
+        }
+        // Out-of-FCFS-order picks leave stale order entries behind;
+        // compact once they outnumber the window so scans stay bounded.
+        if self.order.len() > self.queued + 2 * self.cfg.sched_window {
+            let pending = &self.pending;
+            self.order.retain(|e| Self::is_live(pending, e));
         }
     }
 
     /// Issues everything still queued and returns the statistics so far.
     pub fn drain(&mut self) -> DramStats {
-        while !self.queue.is_empty() {
+        while self.queued > 0 {
             self.issue_one();
         }
         self.stats
@@ -80,53 +199,215 @@ impl Channel {
         self.stats
     }
 
-    /// Background row preparation: while hits drain the data bus, the
-    /// controller issues ACT/PRE for the oldest pending non-hit request —
-    /// unless another queued request still wants the victim row.
-    fn prepare_pending_row(&mut self) {
-        let t = self.cfg.timing;
-        let candidate = self
-            .queue
+    /// Whether `e` still refers to a live (unissued) request. Row queues
+    /// pop in seq order, so an entry is live iff its seq has not yet
+    /// passed its queue's front.
+    fn is_live(pending: &[Vec<RowQueue>], e: &OrderEntry) -> bool {
+        pending[e.bank]
             .iter()
-            .find(|r| self.banks[r.bank].open_row() != Some(r.row))
-            .copied();
-        let Some(req) = candidate else { return };
-        // Do not close a row other queued requests will still hit.
-        let victim_wanted = self.queue.iter().any(|q| {
-            q.bank == req.bank && q.row != req.row && self.banks[q.bank].open_row() == Some(q.row)
-        });
-        if victim_wanted {
-            return;
+            .find(|rq| rq.row == e.row)
+            .is_some_and(|rq| rq.front_seq <= e.seq)
+    }
+
+    /// Removes and returns the front request of `(bank, row)`, maintaining
+    /// the live count and the mismatch index.
+    fn pop_pending(&mut self, bank: usize, row: u64) -> Request {
+        if let Some(Some((_, b, r))) = self.mis_cache {
+            if b == bank && r == row {
+                self.mis_cache = None;
+            }
         }
+        let rows = &mut self.pending[bank];
+        let idx = rows
+            .iter()
+            .position(|rq| rq.row == row)
+            .expect("pending row present");
+        let p = rows[idx].fifo.pop_front().expect("row queue nonempty");
+        if let Some(next) = rows[idx].fifo.front() {
+            rows[idx].front_seq = next.seq;
+        } else {
+            let rq = rows.swap_remove(idx);
+            if self.free_queues.len() <= self.cfg.sched_window {
+                self.free_queues.push(rq.fifo);
+            }
+            if self.banks[bank].open_row() != Some(row) {
+                self.mismatched[bank] -= 1;
+                self.mismatched_total -= 1;
+            }
+        }
+        self.queued -= 1;
+        Request {
+            bank,
+            bank_group: p.bank_group,
+            row,
+            is_write: p.is_write,
+        }
+    }
+
+    /// Recomputes the mismatch count for `bank` after its open row changed
+    /// (activation or refresh).
+    fn note_row_change(&mut self, bank: usize) {
+        self.mis_cache = None;
+        let open = self.banks[bank].open_row();
+        let new = self.pending[bank]
+            .iter()
+            .filter(|rq| Some(rq.row) != open)
+            .count();
+        self.mismatched_total = self.mismatched_total - self.mismatched[bank] + new;
+        self.mismatched[bank] = new;
+    }
+
+    /// Fast path: every pending request is a row hit, so the oldest
+    /// request — the first live entry of the arrival deque — is the
+    /// FR-FCFS pick and background preparation has nothing to do. The
+    /// liveness check and the pop share one row-queue lookup.
+    fn pick_all_hits(&mut self) -> Request {
+        loop {
+            let e = self.order.pop_front().expect("queue nonempty");
+            let rows = &mut self.pending[e.bank];
+            let Some(idx) = rows.iter().position(|rq| rq.row == e.row) else {
+                continue; // stale: row queue fully drained
+            };
+            // Live iff the entry's seq has not popped past the queue front;
+            // for the order front, live implies it *is* the queue front.
+            if rows[idx].front_seq > e.seq {
+                continue; // stale: reissued row, newer requests only
+            }
+            let p = rows[idx].fifo.pop_front().expect("nonempty");
+            if let Some(next) = rows[idx].fifo.front() {
+                rows[idx].front_seq = next.seq;
+            } else {
+                let rq = rows.swap_remove(idx);
+                if self.free_queues.len() <= self.cfg.sched_window {
+                    self.free_queues.push(rq.fifo);
+                }
+                // All-hits invariant: the drained row was the open row, so
+                // the mismatch count is unchanged.
+            }
+            self.queued -= 1;
+            return Request {
+                bank: e.bank,
+                bank_group: p.bank_group,
+                row: e.row,
+                is_write: p.is_write,
+            };
+        }
+    }
+
+    /// Recomputes (or returns the cached) oldest pending non-hit — the
+    /// background row-preparation candidate. The cache is invalidated by
+    /// open-row changes and by pops of the cached queue; pushes only ever
+    /// append younger requests, so they cannot displace a valid minimum.
+    fn oldest_mismatched(&mut self) -> Option<(u64, usize, u64)> {
+        if let Some(cached) = self.mis_cache {
+            return cached;
+        }
+        let mut best: Option<(u64, usize, u64)> = None;
+        for (bank_idx, rows) in self.pending.iter().enumerate() {
+            if self.mismatched[bank_idx] == 0 {
+                continue;
+            }
+            let open = self.banks[bank_idx].open_row();
+            for rq in rows {
+                if open != Some(rq.row) && best.is_none_or(|(s, _, _)| rq.front_seq < s) {
+                    best = Some((rq.front_seq, bank_idx, rq.row));
+                }
+            }
+        }
+        self.mis_cache = Some(best);
+        best
+    }
+
+    /// Background row preparation: ACT/PRE for `(bank, row)` — unless
+    /// another queued request still wants the victim row. Returns whether
+    /// the activation happened.
+    fn try_prepare(&mut self, bank: usize, row: u64) -> bool {
+        if let Some(open) = self.banks[bank].open_row() {
+            if self.pending[bank].iter().any(|rq| rq.row == open) {
+                return false;
+            }
+        }
+        let t = self.cfg.timing;
         let act_gate = if self.recent_acts.len() >= 4 {
             self.recent_acts[self.recent_acts.len() - 4] + t.faw
         } else {
             0
         };
         let issue_from = self.now.max(act_gate);
-        let (outcome, _) = self.banks[req.bank].access_row(req.row, issue_from, &t);
-        let act_at = self.banks[req.bank].activated_at();
+        let (outcome, _) = self.banks[bank].access_row(row, issue_from, &t);
+        let act_at = self.banks[bank].activated_at();
         self.recent_acts.push_back(act_at);
         while self.recent_acts.len() > 4 {
             self.recent_acts.pop_front();
         }
+        self.note_row_change(bank);
         match outcome {
             RowOutcome::Hit => {}
             RowOutcome::Miss => self.stats.row_misses += 1,
             RowOutcome::Conflict => self.stats.row_conflicts += 1,
         }
+        true
+    }
+
+    /// Slow path (some pending request is a non-hit): background
+    /// preparation for the oldest non-hit, then the FR-FCFS pick — oldest
+    /// row hit first, else the oldest request.
+    ///
+    /// The oldest live request (the arrival-deque front) collapses most of
+    /// the work: if it is a hit, it *is* the oldest hit, and preparation
+    /// works on the cached oldest non-hit; if it is a non-hit, it *is* the
+    /// preparation candidate, and a successful activation turns it into
+    /// the pick. Only a victim-blocked preparation needs a scan over the
+    /// open-row index to find the oldest hit.
+    fn prepare_and_pick(&mut self) -> Request {
+        // Oldest live request; prune stale entries off the deque front.
+        let front = loop {
+            let e = *self.order.front().expect("queue nonempty");
+            if Self::is_live(&self.pending, &e) {
+                break e;
+            }
+            self.order.pop_front();
+        };
+        if self.banks[front.bank].open_row() == Some(front.row) {
+            if let Some((_, bank, row)) = self.oldest_mismatched() {
+                self.try_prepare(bank, row);
+            }
+            self.order.pop_front();
+            return self.pop_pending(front.bank, front.row);
+        }
+        // The oldest request is the oldest non-hit: prepare its row, and
+        // on success it becomes the oldest hit — the pick.
+        if self.try_prepare(front.bank, front.row) {
+            self.order.pop_front();
+            return self.pop_pending(front.bank, front.row);
+        }
+        // Preparation refused to close the victim row, so its pending hits
+        // exist; the oldest hit anywhere goes first. One cache-friendly
+        // pass over the open-row index finds it (at most one queue per
+        // bank can match its open row).
+        let mut best_hit: Option<(u64, usize, u64)> = None;
+        for (bank_idx, rows) in self.pending.iter().enumerate() {
+            let Some(open) = self.banks[bank_idx].open_row() else {
+                continue;
+            };
+            let Some(rq) = rows.iter().find(|rq| rq.row == open) else {
+                continue;
+            };
+            if best_hit.is_none_or(|(s, _, _)| rq.front_seq < s) {
+                best_hit = Some((rq.front_seq, bank_idx, rq.row));
+            }
+        }
+        let (_, bank, row) = best_hit.expect("victim row has pending hits");
+        self.pop_pending(bank, row)
     }
 
     fn issue_one(&mut self) {
         self.maybe_refresh();
-        self.prepare_pending_row();
-        // FR-FCFS: oldest row-hit first, else the oldest request.
-        let pick = self
-            .queue
-            .iter()
-            .position(|r| self.banks[r.bank].open_row() == Some(r.row))
-            .unwrap_or(0);
-        let req = self.queue.remove(pick).expect("queue nonempty");
+        let req = if self.mismatched_total == 0 {
+            self.pick_all_hits()
+        } else {
+            self.prepare_and_pick()
+        };
         let t = self.cfg.timing;
 
         // Row management; activates are gated by the tFAW window.
@@ -144,32 +425,37 @@ impl Channel {
             while self.recent_acts.len() > 4 {
                 self.recent_acts.pop_front();
             }
+            self.note_row_change(req.bank);
         }
 
-        // Column command: after row ready, tCCD since last column in the
-        // same group, and bus turnaround.
-        let ccd_gate = self.last_col[req.bank_group]
-            + if self.last_col[req.bank_group] == 0 {
-                0
-            } else {
-                t.ccd_l
-            };
-        let turnaround = match (self.last_was_write, req.is_write) {
-            (true, false) => t.wtr,
-            (false, true) => t.rtw,
+        // Column command: after row ready, tCCD_L since the last column in
+        // the same group, tCCD_S since the last column in any group, and
+        // bus turnaround. Write-to-read turnaround counts from the end of
+        // the preceding write burst (DDR4 tWTR), not from its command.
+        let ccd_l_gate = self.last_col[req.bank_group].map_or(0, |c| c + t.ccd_l);
+        let ccd_s_gate = self.last_col_any.map_or(0, |c| c + t.ccd_s);
+        let turnaround_gate = match (self.last_was_write, req.is_write) {
+            (true, false) => self.last_write_end + t.wtr,
+            (false, true) => self.now + t.rtw,
             _ => 0,
         };
-        let mut cmd_at = row_ready.max(ccd_gate).max(self.now + turnaround);
+        let mut cmd_at = row_ready
+            .max(ccd_l_gate)
+            .max(ccd_s_gate)
+            .max(turnaround_gate)
+            .max(self.now);
         // Data must find the bus free; CAS latency separates command from data.
         let data_start = (cmd_at + t.cl).max(self.bus_free);
         cmd_at = data_start - t.cl;
         let data_end = data_start + t.burst_cycles();
 
-        self.last_col[req.bank_group] = cmd_at;
+        self.last_col[req.bank_group] = Some(cmd_at);
+        self.last_col_any = Some(cmd_at);
         self.bus_free = data_end;
         self.now = cmd_at;
         self.last_was_write = req.is_write;
         if req.is_write {
+            self.last_write_end = data_end;
             self.banks[req.bank].note_write(data_end, &t);
             self.stats.writes += 1;
         } else {
@@ -184,7 +470,11 @@ impl Channel {
     }
 
     fn maybe_refresh(&mut self) {
+        if self.now < self.next_refresh {
+            return;
+        }
         let t = self.cfg.timing;
+        let mut fired = false;
         while self.now >= self.next_refresh {
             for bank in &mut self.banks {
                 bank.close();
@@ -194,6 +484,12 @@ impl Channel {
             self.bus_free = self.bus_free.max(self.now);
             self.next_refresh += t.refi;
             self.stats.refreshes += 1;
+            fired = true;
+        }
+        if fired {
+            for bank in 0..self.banks.len() {
+                self.note_row_change(bank);
+            }
         }
     }
 }
@@ -201,9 +497,213 @@ impl Channel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::DdrTiming;
 
     fn cfg() -> DramConfig {
         DramConfig::test_single_channel()
+    }
+
+    /// Reference scheduler: the original flat-queue O(window) FR-FCFS
+    /// algorithm with the same timing rules, used as a differential
+    /// oracle for the indexed scheduler.
+    struct FlatChannel {
+        cfg: DramConfig,
+        banks: Vec<Bank>,
+        queue: VecDeque<Request>,
+        now: u64,
+        bus_free: u64,
+        last_col: Vec<Option<u64>>,
+        last_col_any: Option<u64>,
+        last_was_write: bool,
+        last_write_end: u64,
+        recent_acts: VecDeque<u64>,
+        next_refresh: u64,
+        stats: DramStats,
+    }
+
+    impl FlatChannel {
+        fn new(cfg: DramConfig) -> Self {
+            Self {
+                next_refresh: cfg.timing.refi,
+                banks: vec![Bank::new(); cfg.banks_per_channel()],
+                queue: VecDeque::new(),
+                now: 0,
+                bus_free: 0,
+                last_col: vec![None; cfg.bank_groups],
+                last_col_any: None,
+                last_was_write: false,
+                last_write_end: 0,
+                recent_acts: VecDeque::new(),
+                stats: DramStats::default(),
+                cfg,
+            }
+        }
+
+        fn push(&mut self, req: Request) {
+            self.queue.push_back(req);
+            while self.queue.len() > self.cfg.sched_window {
+                self.issue_one();
+            }
+        }
+
+        fn drain(&mut self) -> DramStats {
+            while !self.queue.is_empty() {
+                self.issue_one();
+            }
+            self.stats
+        }
+
+        fn issue_one(&mut self) {
+            let t = self.cfg.timing;
+            // Refresh.
+            while self.now >= self.next_refresh {
+                for bank in &mut self.banks {
+                    bank.close();
+                }
+                self.now = self.next_refresh + t.rfc;
+                self.bus_free = self.bus_free.max(self.now);
+                self.next_refresh += t.refi;
+                self.stats.refreshes += 1;
+            }
+            // Background row preparation.
+            let candidate = self
+                .queue
+                .iter()
+                .find(|r| self.banks[r.bank].open_row() != Some(r.row))
+                .copied();
+            if let Some(req) = candidate {
+                let victim_wanted = self.queue.iter().any(|q| {
+                    q.bank == req.bank
+                        && q.row != req.row
+                        && self.banks[q.bank].open_row() == Some(q.row)
+                });
+                if !victim_wanted {
+                    let act_gate = if self.recent_acts.len() >= 4 {
+                        self.recent_acts[self.recent_acts.len() - 4] + t.faw
+                    } else {
+                        0
+                    };
+                    let issue_from = self.now.max(act_gate);
+                    let (outcome, _) = self.banks[req.bank].access_row(req.row, issue_from, &t);
+                    let act_at = self.banks[req.bank].activated_at();
+                    self.recent_acts.push_back(act_at);
+                    while self.recent_acts.len() > 4 {
+                        self.recent_acts.pop_front();
+                    }
+                    match outcome {
+                        RowOutcome::Hit => {}
+                        RowOutcome::Miss => self.stats.row_misses += 1,
+                        RowOutcome::Conflict => self.stats.row_conflicts += 1,
+                    }
+                }
+            }
+            // FR-FCFS pick.
+            let pick = self
+                .queue
+                .iter()
+                .position(|r| self.banks[r.bank].open_row() == Some(r.row))
+                .unwrap_or(0);
+            let req = self.queue.remove(pick).expect("queue nonempty");
+            // Column timing (same rules as the indexed scheduler).
+            let needs_act = self.banks[req.bank].open_row() != Some(req.row);
+            let act_gate = if needs_act && self.recent_acts.len() >= 4 {
+                self.recent_acts[self.recent_acts.len() - 4] + t.faw
+            } else {
+                0
+            };
+            let issue_from = self.now.max(act_gate);
+            let (outcome, row_ready) = self.banks[req.bank].access_row(req.row, issue_from, &t);
+            if needs_act {
+                let act_at = self.banks[req.bank].activated_at();
+                self.recent_acts.push_back(act_at);
+                while self.recent_acts.len() > 4 {
+                    self.recent_acts.pop_front();
+                }
+            }
+            let ccd_l_gate = self.last_col[req.bank_group].map_or(0, |c| c + t.ccd_l);
+            let ccd_s_gate = self.last_col_any.map_or(0, |c| c + t.ccd_s);
+            let turnaround_gate = match (self.last_was_write, req.is_write) {
+                (true, false) => self.last_write_end + t.wtr,
+                (false, true) => self.now + t.rtw,
+                _ => 0,
+            };
+            let mut cmd_at = row_ready
+                .max(ccd_l_gate)
+                .max(ccd_s_gate)
+                .max(turnaround_gate)
+                .max(self.now);
+            let data_start = (cmd_at + t.cl).max(self.bus_free);
+            cmd_at = data_start - t.cl;
+            let data_end = data_start + t.burst_cycles();
+            self.last_col[req.bank_group] = Some(cmd_at);
+            self.last_col_any = Some(cmd_at);
+            self.bus_free = data_end;
+            self.now = cmd_at;
+            self.last_was_write = req.is_write;
+            if req.is_write {
+                self.last_write_end = data_end;
+                self.banks[req.bank].note_write(data_end, &t);
+                self.stats.writes += 1;
+            } else {
+                self.stats.reads += 1;
+            }
+            match outcome {
+                RowOutcome::Hit => self.stats.row_hits += 1,
+                RowOutcome::Miss => self.stats.row_misses += 1,
+                RowOutcome::Conflict => self.stats.row_conflicts += 1,
+            }
+            self.stats.total_cycles = self.stats.total_cycles.max(data_end);
+        }
+    }
+
+    /// SplitMix64, for deterministic pseudorandom workloads.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn indexed_scheduler_matches_flat_reference() {
+        // Differential oracle: mixed streaming/scatter/write workloads must
+        // produce identical statistics to the flat O(window) scheduler.
+        let cfg = cfg();
+        for seed in 0..8u64 {
+            let mut state = seed.wrapping_mul(0x5851_F42D_4C95_7F2D) + 1;
+            let mut fast = Channel::new(cfg);
+            let mut flat = FlatChannel::new(cfg);
+            let mut stream_addr = 0u64;
+            for i in 0..6000u64 {
+                let r = splitmix(&mut state);
+                let req = if r % 100 < 70 {
+                    // Streaming phase: sequential blocks.
+                    stream_addr += 1;
+                    Request {
+                        bank: ((stream_addr / 4) % 8) as usize,
+                        bank_group: (stream_addr % 4) as usize,
+                        row: stream_addr / 512,
+                        is_write: r.is_multiple_of(10),
+                    }
+                } else {
+                    // Scatter phase.
+                    Request {
+                        bank: (r >> 8) as usize % cfg.banks_per_channel(),
+                        bank_group: (r >> 16) as usize % cfg.bank_groups,
+                        row: (r >> 24) % 64,
+                        is_write: r.is_multiple_of(3),
+                    }
+                };
+                fast.push(req);
+                flat.push(req);
+                if i % 1024 == 1023 {
+                    // Mid-run checkpoints drain both to idle.
+                    assert_eq!(fast.drain(), flat.drain(), "seed {seed}, step {i}");
+                }
+            }
+            assert_eq!(fast.drain(), flat.drain(), "seed {seed}");
+        }
     }
 
     fn stream(channel: &mut Channel, n: u64, same_row: bool) -> DramStats {
@@ -391,5 +891,123 @@ mod tests {
         assert_eq!(stats.row_hits, 8);
         assert_eq!(stats.row_misses, 1);
         assert_eq!(stats.row_conflicts, 1);
+    }
+
+    #[test]
+    fn cross_group_paced_by_ccd_s() {
+        // With a synthetic tCCD_S above the burst length, alternating bank
+        // groups is paced by tCCD_S: faster than the tCCD_L ceiling but
+        // slower than the BL8 bus limit. This pins the tCCD_S gate — with
+        // the field unread, the stream would sit at the bus limit.
+        let timing = DdrTiming {
+            ccd_s: 5,
+            ..DdrTiming::ddr4_2400()
+        };
+        let mut ch = Channel::new(DramConfig { timing, ..cfg() });
+        let n = 2000usize;
+        for i in 0..n {
+            ch.push(Request {
+                bank: i % 4,
+                bank_group: i % 4,
+                row: 0,
+                is_write: false,
+            });
+        }
+        let stats = ch.drain();
+        let bpc = stats.bytes_per_cycle(64);
+        // 64 B / 5 cycles = 12.8 B/cycle; the bus limit is 16 and the
+        // tCCD_L ceiling ~10.7. Allow startup + refresh slack.
+        assert!((11.5..13.0).contains(&bpc), "got {bpc}");
+    }
+
+    #[test]
+    fn cycle_zero_column_still_gates_successor() {
+        // A legitimate column command at cycle 0 (zeroed row-open timings)
+        // must still gate the next same-group column by tCCD_L. The old
+        // `last_col == 0` sentinel erased this gate.
+        let timing = DdrTiming {
+            cl: 1,
+            rcd: 0,
+            rp: 1,
+            ras: 1,
+            ccd_l: 6,
+            ccd_s: 4,
+            rrd: 1,
+            faw: 1,
+            wr: 1,
+            wtr: 1,
+            rtw: 1,
+            rfc: 1,
+            refi: 1 << 40,
+            bl: 8,
+        };
+        let mut ch = Channel::new(DramConfig { timing, ..cfg() });
+        for _ in 0..2 {
+            ch.push(Request {
+                bank: 0,
+                bank_group: 0,
+                row: 0,
+                is_write: false,
+            });
+        }
+        let stats = ch.drain();
+        // First column command lands at cycle 0 (tRCD = 0). The second is
+        // gated to cycle tCCD_L; its data ends at tCCD_L + CL + BL/2.
+        assert_eq!(
+            stats.total_cycles,
+            timing.ccd_l + timing.cl + timing.burst_cycles()
+        );
+    }
+
+    #[test]
+    fn wtr_counts_from_write_burst_end() {
+        // One write then one read to the open row: the read command waits
+        // until tWTR after the write burst has left the bus, not tWTR
+        // after the write *command* (which would overlap the burst).
+        let t = cfg().timing;
+        let mut ch = Channel::new(cfg());
+        ch.push(Request {
+            bank: 0,
+            bank_group: 0,
+            row: 0,
+            is_write: true,
+        });
+        ch.push(Request {
+            bank: 0,
+            bank_group: 0,
+            row: 0,
+            is_write: false,
+        });
+        let stats = ch.drain();
+        // Write: ACT in prep, command at tRCD, burst ends at
+        // tRCD + CL + BL/2. Read: command tWTR after that, data ends
+        // CL + BL/2 later.
+        let write_end = t.rcd + t.cl + t.burst_cycles();
+        assert_eq!(
+            stats.total_cycles,
+            write_end + t.wtr + t.cl + t.burst_cycles()
+        );
+    }
+
+    #[test]
+    fn deep_window_reordering_matches_flat_scan() {
+        // A pathological mix (interleaved conflicting rows on a few banks,
+        // reads and writes) must drain completely with every request
+        // issued exactly once, exercising the slow path, the freelist and
+        // the stale-entry compaction together.
+        let mut ch = Channel::new(cfg());
+        let n = 4096usize;
+        for i in 0..n {
+            ch.push(Request {
+                bank: i % 3,
+                bank_group: i % 3,
+                row: (i % 7) as u64,
+                is_write: i % 5 == 0,
+            });
+        }
+        let stats = ch.drain();
+        assert_eq!(stats.accesses(), n as u64);
+        assert_eq!(stats.reads, (0..n).filter(|i| i % 5 != 0).count() as u64);
+        assert!(stats.row_hits + stats.row_misses + stats.row_conflicts >= n as u64);
     }
 }

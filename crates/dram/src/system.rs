@@ -27,13 +27,47 @@ use crate::stats::DramStats;
 pub struct DramSystem {
     cfg: DramConfig,
     channels: Vec<Channel>,
+    /// Shift/mask decode plan when every geometry factor is a power of two
+    /// (the invariable case in practice); `None` falls back to div/mod.
+    /// Address decoding runs once per 64-byte block of simulated traffic,
+    /// so a chain of eight u64 divisions is measurable.
+    shifts: Option<DecodeShifts>,
+}
+
+/// log2 of each geometry factor, for the shift/mask decode path.
+#[derive(Clone, Copy, Debug)]
+struct DecodeShifts {
+    access: u32,
+    channels: u32,
+    bank_groups: u32,
+    cols_per_row: u32,
+    ranks: u32,
+    banks_per_group: u32,
+}
+
+fn log2_exact(x: u64) -> Option<u32> {
+    (x.is_power_of_two()).then(|| x.trailing_zeros())
 }
 
 impl DramSystem {
     /// Creates an idle DRAM system.
     pub fn new(cfg: DramConfig) -> Self {
         let channels = (0..cfg.channels).map(|_| Channel::new(cfg)).collect();
-        Self { cfg, channels }
+        let shifts = (|| {
+            Some(DecodeShifts {
+                access: log2_exact(cfg.access_bytes)?,
+                channels: log2_exact(cfg.channels as u64)?,
+                bank_groups: log2_exact(cfg.bank_groups as u64)?,
+                cols_per_row: log2_exact(cfg.row_bytes / cfg.access_bytes)?,
+                ranks: log2_exact(cfg.ranks as u64)?,
+                banks_per_group: log2_exact(cfg.banks_per_group as u64)?,
+            })
+        })();
+        Self {
+            cfg,
+            channels,
+            shifts,
+        }
     }
 
     /// The configuration.
@@ -83,6 +117,34 @@ impl DramSystem {
 
     fn decode(&self, addr: u64, is_write: bool) -> (usize, Request) {
         let cfg = &self.cfg;
+        // Bank-address hashing (XOR with low row bits): decorrelates
+        // concurrently streamed regions so they do not ping-pong one bank's
+        // row buffer — standard in modern controllers and Ramulator maps.
+        if let Some(s) = &self.shifts {
+            // All geometry factors are powers of two: pure shift/mask.
+            let block = addr >> s.access;
+            let channel = (block & ((1 << s.channels) - 1)) as usize;
+            let rest = block >> s.channels;
+            let bank_group = (rest & ((1 << s.bank_groups) - 1)) as usize;
+            let rest = (rest >> s.bank_groups) >> s.cols_per_row; // column bits consumed
+            let rank = rest & ((1 << s.ranks) - 1);
+            let rest = rest >> s.ranks;
+            let bank_in_group = rest & ((1 << s.banks_per_group) - 1);
+            let row = rest >> s.banks_per_group;
+            let bank_in_group = (bank_in_group ^ (row & ((1 << s.banks_per_group) - 1))) as usize;
+            let rank = (rank ^ ((row >> s.banks_per_group) & ((1 << s.ranks) - 1))) as usize;
+            let bank =
+                ((rank * cfg.bank_groups) + bank_group) * cfg.banks_per_group + bank_in_group;
+            return (
+                channel,
+                Request {
+                    bank,
+                    bank_group,
+                    row,
+                    is_write,
+                },
+            );
+        }
         let block = addr / cfg.access_bytes;
         let channel = (block % cfg.channels as u64) as usize;
         let rest = block / cfg.channels as u64;
@@ -94,9 +156,6 @@ impl DramSystem {
         let rest = rest / cfg.ranks as u64;
         let bank_in_group = (rest % cfg.banks_per_group as u64) as usize;
         let row = rest / cfg.banks_per_group as u64;
-        // Bank-address hashing (XOR with low row bits): decorrelates
-        // concurrently streamed regions so they do not ping-pong one bank's
-        // row buffer — standard in modern controllers and Ramulator maps.
         let bank_in_group = (bank_in_group as u64 ^ (row % cfg.banks_per_group as u64)) as usize;
         let rank = (rank as u64 ^ ((row / cfg.banks_per_group as u64) % cfg.ranks as u64)) as usize;
         let bank = ((rank * cfg.bank_groups) + bank_group) * cfg.banks_per_group + bank_in_group;
@@ -125,6 +184,29 @@ mod tests {
         assert_ne!(c0, c1);
         let (c2, _) = sys.decode(128, false);
         assert_eq!(c0, c2);
+    }
+
+    #[test]
+    fn shift_decode_matches_div_mod_decode() {
+        // Every shipped config is power-of-two, so normal operation only
+        // exercises the shift/mask path; pin it against the div/mod
+        // fallback so the two decoders cannot silently diverge.
+        for cfg in [
+            DramConfig::ddr4_2400_16gb(),
+            DramConfig::test_single_channel(),
+        ] {
+            let fast = DramSystem::new(cfg);
+            assert!(fast.shifts.is_some(), "shipped configs are power-of-two");
+            let mut slow = fast.clone();
+            slow.shifts = None;
+            let mut addr = 0u64;
+            for i in 0..20_000u64 {
+                // Mix dense strides with wild jumps across the 16 GB space.
+                addr = addr.wrapping_add(64 + (i % 7) * 8192 + (i % 11) * (1 << 27));
+                let a = addr % (1 << 34);
+                assert_eq!(fast.decode(a, false), slow.decode(a, false), "addr {a:#x}");
+            }
+        }
     }
 
     #[test]

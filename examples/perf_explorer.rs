@@ -5,7 +5,7 @@
 //! where `<network>` is one of: alexnet, vgg, googlenet, resnet, mobilenet,
 //! vit, bert, dlrm, wav2vec2.
 
-use guardnn::perf::{evaluate_all, EvalConfig, Mode, Scheme};
+use guardnn::perf::{evaluate_all_parallel, EvalConfig, Mode, Scheme};
 use guardnn_models::zoo;
 
 fn main() {
@@ -33,7 +33,8 @@ fn main() {
         net.total_macs() as f64 / 1e9,
     );
 
-    let results = evaluate_all(&net, mode, &EvalConfig::default());
+    // All four schemes fan out across the worker pool (one per CPU).
+    let results = evaluate_all_parallel(&net, mode, &EvalConfig::default());
     let np_ns = results
         .iter()
         .find(|(s, _)| *s == Scheme::NoProtection)

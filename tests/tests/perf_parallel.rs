@@ -1,0 +1,108 @@
+//! Integration coverage for the parallel evaluation pipeline: the worker
+//! pool must be a pure speedup — bit-identical results in deterministic
+//! order — and the reworked DDR4 scheduler must keep the figure-level
+//! invariants the paper's evaluation relies on.
+
+use guardnn::perf::{
+    evaluate_all, evaluate_all_parallel, evaluate_batch, evaluate_suite, EvalConfig, EvalJob, Mode,
+    Parallelism, Scheme,
+};
+use guardnn_memprot::harness::RunSummary;
+use guardnn_models::layer::{conv, fc};
+use guardnn_models::Network;
+
+fn tiny(name: &str) -> Network {
+    Network::new(
+        name,
+        vec![
+            conv("c1", 12, 3, 6, 3, 1, 1),
+            conv("c2", 12, 6, 6, 3, 1, 1),
+            fc("f1", 1, 6 * 12 * 12, 32),
+        ],
+    )
+}
+
+fn assert_bit_identical(a: &RunSummary, b: &RunSummary) {
+    assert_eq!(a.scheme, b.scheme);
+    assert_eq!(a.data_bytes, b.data_bytes);
+    assert_eq!(a.meta_bytes, b.meta_bytes);
+    assert_eq!(a.dram, b.dram);
+    assert_eq!(a.compute_cycles, b.compute_cycles);
+    assert_eq!(a.exec_ns.to_bits(), b.exec_ns.to_bits(), "exec_ns differs");
+}
+
+#[test]
+fn parallel_evaluation_is_deterministic() {
+    let net = tiny("par-int");
+    let serial = EvalConfig {
+        parallelism: Parallelism::Serial,
+        ..EvalConfig::default()
+    };
+    // More workers than jobs, to exercise the hand-out path thoroughly.
+    let parallel = EvalConfig {
+        parallelism: Parallelism::Threads(8),
+        ..EvalConfig::default()
+    };
+    let a = evaluate_all(&net, Mode::Inference, &serial);
+    let b = evaluate_all_parallel(&net, Mode::Inference, &parallel);
+    for ((sa, ra), (sb, rb)) in a.iter().zip(&b) {
+        assert_eq!(sa, sb, "scheme order must be Scheme::all()");
+        assert_bit_identical(ra, rb);
+    }
+}
+
+#[test]
+fn suite_and_batch_preserve_job_order() {
+    let nets = [tiny("net-a"), tiny("net-b"), tiny("net-c")];
+    let cfg = EvalConfig {
+        parallelism: Parallelism::Threads(4),
+        ..EvalConfig::default()
+    };
+    let suite = evaluate_suite(&nets, Mode::Inference, &cfg);
+    assert_eq!(suite.len(), nets.len());
+    for per_net in &suite {
+        let schemes: Vec<Scheme> = per_net.iter().map(|(s, _)| *s).collect();
+        assert_eq!(schemes, Scheme::all().to_vec());
+    }
+    // An explicit batch with per-job configs comes back in job order.
+    let jobs: Vec<EvalJob<'_>> = nets
+        .iter()
+        .map(|network| EvalJob {
+            network,
+            mode: Mode::Inference,
+            scheme: Scheme::GuardNnCi,
+            cfg,
+        })
+        .collect();
+    let runs = evaluate_batch(cfg.parallelism, &jobs);
+    assert_eq!(runs.len(), jobs.len());
+    for (run, (_, direct)) in runs.iter().zip(suite.iter().map(|per_net| &per_net[2])) {
+        // Job i must hold network i's GuardNN_CI result, not some other slot's.
+        assert_bit_identical(run, direct);
+    }
+}
+
+#[test]
+fn scheduler_rework_keeps_figure_invariants() {
+    // The paper's headline ordering must survive the scheduler timing
+    // fixes: NP never slower than the protected runs, BP the slowest, and
+    // metadata traffic strictly ordered GuardNN_CI < BP.
+    let net = tiny("inv");
+    let cfg = EvalConfig::default();
+    for mode in [Mode::Inference, Mode::Training { batch: 2 }] {
+        let results = evaluate_all_parallel(&net, mode, &cfg);
+        let get = |s: Scheme| {
+            results
+                .iter()
+                .find(|(sc, _)| *sc == s)
+                .map(|(_, r)| r)
+                .expect("present")
+        };
+        let np = get(Scheme::NoProtection);
+        let gci = get(Scheme::GuardNnCi);
+        let bp = get(Scheme::Baseline);
+        assert!(np.exec_ns <= gci.exec_ns + 1e-9, "{mode:?}");
+        assert!(gci.exec_ns <= bp.exec_ns, "{mode:?}");
+        assert!(gci.meta_bytes < bp.meta_bytes, "{mode:?}");
+    }
+}
