@@ -8,10 +8,39 @@
 //! `smoke` runs only the two smallest networks of the inference suite —
 //! the CI wall-clock canary; `--serial` disables the worker pool).
 
-use guardnn::perf::{evaluate_suite, EvalConfig, Mode, Parallelism, Scheme, SIMULATED_SCHEMES};
+use guardnn::perf::{
+    batched_protocol_cost, evaluate_suite, EvalConfig, Mode, Parallelism, Scheme, SIMULATED_SCHEMES,
+};
 use guardnn_bench::json::run_summary_json;
 use guardnn_bench::{announce_pool, f, Table};
 use guardnn_models::{zoo, Network};
+
+/// Amortized per-input protocol overhead (handshake + weight import spread
+/// over the batch) on the MicroBlaze model, per network. This is the cost
+/// `DeviceServer::infer_batch` amortizes: batch 1 is the old
+/// one-session-per-input protocol, larger batches share one session.
+fn protocol_amortization(title: &str, nets: &[Network], bytes_per_elem: f64) {
+    const BATCHES: [usize; 3] = [1, 8, 64];
+    println!("\nBatched protocol — {title}: amortized per-input overhead (ms), MicroBlaze model\n");
+    let mut table = Table::new(vec![
+        "network",
+        "batch 1",
+        "batch 8",
+        "batch 64",
+        "I/O floor",
+    ]);
+    for net in nets {
+        let mut row = vec![net.name().to_string()];
+        for batch in BATCHES {
+            let cost = batched_protocol_cost(net, batch, bytes_per_elem);
+            row.push(f(cost.per_input_s() * 1e3, 3));
+        }
+        let floor = batched_protocol_cost(net, 1, bytes_per_elem).per_input_io_s;
+        row.push(f(floor * 1e3, 3));
+        table.row(row);
+    }
+    table.print();
+}
 
 fn run_suite(title: &str, nets: &[Network], mode: Mode, cfg: &EvalConfig, json: bool) {
     println!("\nFigure 3 — {title}: execution time normalized to no protection (NP)\n");
@@ -96,6 +125,7 @@ fn main() {
         println!(
             "\nPaper reference: BP averages 1.25×; GuardNN_CI ≈ 1.0105×; GuardNN_C ≈ 1.0104×."
         );
+        protocol_amortization("inference", &zoo::figure3_inference_suite(), 1.0);
     }
     if arg == "training" || arg == "both" {
         run_suite(
@@ -108,5 +138,6 @@ fn main() {
         println!(
             "\nPaper reference: BP averages 1.29×; GuardNN_CI ≈ 1.0107×; GuardNN_C ≈ 1.0105×."
         );
+        protocol_amortization("training", &zoo::figure3_training_suite(), 2.0);
     }
 }

@@ -75,15 +75,28 @@ fn main() {
         .collect();
     announce_pool("sweep evaluations", jobs.len(), parallelism);
     let results = evaluate_batch(parallelism, &jobs);
-    let mut t = Table::new(vec!["batch", "GuardNN_CI", "BP"]);
+    let mut t = Table::new(vec![
+        "batch",
+        "GuardNN_CI",
+        "BP",
+        "protocol ms/input (amortized)",
+    ]);
     for (batch, point) in batches.iter().zip(results.chunks(POINT_SCHEMES.len())) {
         let [np, gci, bp] = point else { unreachable!() };
+        // Protocol-side amortization over the same batch: one session
+        // (key exchange + weight import) serves the whole mini-batch
+        // (bf16 training → 2 bytes/elem on the MicroBlaze model).
+        let protocol = guardnn::perf::batched_protocol_cost(net, *batch, 2.0);
         t.row(vec![
             batch.to_string(),
             f(gci.normalized_to(np), 4),
             f(bp.normalized_to(np), 4),
+            f(protocol.per_input_s() * 1e3, 3),
         ]);
     }
     t.print();
-    println!("\n(GuardNN's overhead should stay ~flat; BP's grows with memory pressure.)");
+    println!(
+        "\n(GuardNN's overhead should stay ~flat; BP's grows with memory pressure; the\n\
+         per-input protocol cost falls as one session amortizes over the batch.)"
+    );
 }

@@ -21,7 +21,13 @@ use guardnn_crypto::schnorr::{SigningKey, VerifyingKey};
 use guardnn_memprot::functional::ProtectedMemory;
 use guardnn_models::Network;
 
-/// Per-session device state, cleared by `InitSession`.
+/// The most concurrent sessions the device's on-chip session table holds
+/// (keys + counters + attestation state are on-chip resources; the paper's
+/// host serves many users by cycling sessions through this table).
+pub const MAX_SESSIONS: usize = 64;
+
+/// Per-session device state, allocated by `InitSession` and destroyed by
+/// `CloseSession`.
 struct Session {
     channel: SecureChannel,
     integrity: bool,
@@ -36,20 +42,29 @@ struct Session {
 }
 
 /// The GuardNN secure accelerator.
+///
+/// The device holds a table of up to [`MAX_SESSIONS`] live sessions, each
+/// with its own channel keys, memory keys, counters, attestation chain,
+/// and protected memory. Exactly one session is the *active* hardware
+/// context at a time; `SelectSession` switches it (clearing the shared
+/// `SetReadCTR` range table, which the host re-fills to resume).
 pub struct GuardNnDevice {
     device_id: u64,
     sk: SigningKey,
     cert: Certificate,
     group: DhGroup,
     rng: TrngModel,
-    session: Option<Session>,
+    sessions: std::collections::BTreeMap<u64, Session>,
+    active: Option<u64>,
+    next_session: u64,
 }
 
 impl std::fmt::Debug for GuardNnDevice {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GuardNnDevice")
             .field("device_id", &self.device_id)
-            .field("session_active", &self.session.is_some())
+            .field("sessions", &self.sessions.len())
+            .field("session_active", &self.active.is_some())
             .finish()
     }
 }
@@ -70,7 +85,9 @@ impl GuardNnDevice {
             cert,
             group,
             rng: TrngModel::from_seed(seed),
-            session: None,
+            sessions: std::collections::BTreeMap::new(),
+            active: None,
+            next_session: 1,
         };
         (device, manufacturer.public_key())
     }
@@ -78,6 +95,17 @@ impl GuardNnDevice {
     /// The device id (public).
     pub fn device_id(&self) -> u64 {
         self.device_id
+    }
+
+    /// The id of the active hardware context, if any (public — the host
+    /// selected it).
+    pub fn active_session(&self) -> Option<u64> {
+        self.active
+    }
+
+    /// Number of live sessions in the on-chip table (public).
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
     }
 
     /// Public layout query (addresses are not confidential): base address
@@ -122,7 +150,7 @@ impl GuardNnDevice {
     /// [`GuardNnError::NoSession`] / [`GuardNnError::InvalidState`] if no
     /// model is loaded.
     pub fn physical_dram_mut(&mut self) -> Result<&mut ProtectedMemory, GuardNnError> {
-        let session = self.session.as_mut().ok_or(GuardNnError::NoSession)?;
+        let session = self.active_mut()?;
         let mem = session
             .memory
             .as_mut()
@@ -130,8 +158,24 @@ impl GuardNnDevice {
         Ok(mem.protected_memory_mut())
     }
 
+    /// The active hardware context.
+    fn active_mut(&mut self) -> Result<&mut Session, GuardNnError> {
+        Self::active_of(&mut self.sessions, self.active)
+    }
+
+    /// Field-level variant of [`GuardNnDevice::active_mut`], so instruction
+    /// handlers can hold the session while still using `self.rng`/`self.sk`.
+    fn active_of(
+        sessions: &mut std::collections::BTreeMap<u64, Session>,
+        active: Option<u64>,
+    ) -> Result<&mut Session, GuardNnError> {
+        let sid = active.ok_or(GuardNnError::NoSession)?;
+        sessions.get_mut(&sid).ok_or(GuardNnError::NoSession)
+    }
+
     fn memory_ref(&self) -> Result<&DeviceMemory, GuardNnError> {
-        let session = self.session.as_ref().ok_or(GuardNnError::NoSession)?;
+        let sid = self.active.ok_or(GuardNnError::NoSession)?;
+        let session = self.sessions.get(&sid).ok_or(GuardNnError::NoSession)?;
         session
             .memory
             .as_ref()
@@ -160,6 +204,12 @@ impl GuardNnDevice {
                 if !self.group.validate_public(&user_public) {
                     return Err(GuardNnError::BadPublicKey);
                 }
+                // Refuse a full table BEFORE any key material is produced:
+                // a rejected request must cost no modular exponentiation
+                // and must not advance the device RNG stream.
+                if self.sessions.len() >= MAX_SESSIONS {
+                    return Err(GuardNnError::InvalidState("session table full"));
+                }
                 let dh = DhKeyPair::generate(&self.group, &mut self.rng);
                 let device_public = dh.public_key().clone();
                 let (k_enc, k_mac_chan) = derive_channel_keys(&dh, &user_public);
@@ -167,20 +217,55 @@ impl GuardNnDevice {
                 let k_menc: [u8; 16] = self.rng.next_bytes(16).try_into().expect("16 bytes");
                 let k_mac =
                     enable_integrity.then(|| self.rng.next_bytes(16).try_into().expect("16 bytes"));
-                self.session = Some(Session {
-                    channel: SecureChannel::new(k_enc, k_mac_chan, ChannelEnd::Device),
-                    integrity: enable_integrity,
-                    k_menc,
-                    k_mac,
-                    attest: AttestationState::new(),
-                    model: None,
-                    memory: None,
-                    output_elems: None,
-                });
-                Ok(Response::SessionInit { device_public })
+                let session = self.next_session;
+                self.next_session += 1;
+                self.sessions.insert(
+                    session,
+                    Session {
+                        channel: SecureChannel::new(k_enc, k_mac_chan, ChannelEnd::Device),
+                        integrity: enable_integrity,
+                        k_menc,
+                        k_mac,
+                        attest: AttestationState::new(),
+                        model: None,
+                        memory: None,
+                        output_elems: None,
+                    },
+                );
+                self.active = Some(session);
+                Ok(Response::SessionInit {
+                    session,
+                    device_public,
+                })
+            }
+            Instruction::SelectSession { session } => {
+                let entry = self
+                    .sessions
+                    .get_mut(&session)
+                    .ok_or(GuardNnError::UnknownSession { session })?;
+                // The SetReadCTR range table is a shared hardware structure:
+                // it does not survive a context switch, so the incoming
+                // session resumes with an empty table and the host replays
+                // its checkpointed read counters.
+                if self.active != Some(session) {
+                    if let Some(mem) = entry.memory.as_mut() {
+                        mem.counters_mut().clear_read_ctrs();
+                    }
+                }
+                self.active = Some(session);
+                Ok(Response::Ack)
+            }
+            Instruction::CloseSession { session } => {
+                self.sessions
+                    .remove(&session)
+                    .ok_or(GuardNnError::UnknownSession { session })?;
+                if self.active == Some(session) {
+                    self.active = None;
+                }
+                Ok(Response::Ack)
             }
             Instruction::LoadModel { network } => {
-                let session = self.session.as_mut().ok_or(GuardNnError::NoSession)?;
+                let session = Self::active_of(&mut self.sessions, self.active)?;
                 let mem = ProtectedMemory::new(&session.k_menc, session.k_mac);
                 session.memory = Some(DeviceMemory::new(mem, &network));
                 session
@@ -190,7 +275,7 @@ impl GuardNnDevice {
                 Ok(Response::Ack)
             }
             Instruction::SetWeight { layer, message } => {
-                let session = self.session.as_mut().ok_or(GuardNnError::NoSession)?;
+                let session = Self::active_of(&mut self.sessions, self.active)?;
                 let model = session
                     .model
                     .as_ref()
@@ -208,7 +293,9 @@ impl GuardNnDevice {
                     });
                 }
                 let mem = session.memory.as_mut().expect("model implies memory");
-                mem.counters_mut().next_weight();
+                mem.counters_mut()
+                    .next_weight()
+                    .map_err(|e| GuardNnError::CounterExhausted { counter: e.counter })?;
                 mem.write_weights(layer, &weights);
                 if session.integrity {
                     session.attest.record_weights(&plaintext);
@@ -219,7 +306,7 @@ impl GuardNnDevice {
                 Ok(Response::Ack)
             }
             Instruction::SetInput { message } => {
-                let session = self.session.as_mut().ok_or(GuardNnError::NoSession)?;
+                let session = Self::active_of(&mut self.sessions, self.active)?;
                 let model = session
                     .model
                     .as_ref()
@@ -237,7 +324,9 @@ impl GuardNnDevice {
                     });
                 }
                 let mem = session.memory.as_mut().expect("model implies memory");
-                mem.counters_mut().next_input();
+                mem.counters_mut()
+                    .next_input()
+                    .map_err(|e| GuardNnError::CounterExhausted { counter: e.counter })?;
                 mem.write_features(0, &input);
                 session.output_elems = None;
                 if session.integrity {
@@ -247,7 +336,7 @@ impl GuardNnDevice {
                 Ok(Response::Ack)
             }
             Instruction::SetReadCtr { start, end, vn } => {
-                let session = self.session.as_mut().ok_or(GuardNnError::NoSession)?;
+                let session = Self::active_of(&mut self.sessions, self.active)?;
                 let mem = session
                     .memory
                     .as_mut()
@@ -266,7 +355,7 @@ impl GuardNnDevice {
                 Ok(Response::Ack)
             }
             Instruction::Forward { layer } => {
-                let session = self.session.as_mut().ok_or(GuardNnError::NoSession)?;
+                let session = Self::active_of(&mut self.sessions, self.active)?;
                 let model = session
                     .model
                     .as_ref()
@@ -284,7 +373,9 @@ impl GuardNnDevice {
                 };
                 let output = forward_layer(&l, &input, &weights)?;
                 // Fresh VN for this pass, then write.
-                mem.counters_mut().next_feature_write();
+                mem.counters_mut()
+                    .next_feature_write()
+                    .map_err(|e| GuardNnError::CounterExhausted { counter: e.counter })?;
                 mem.write_features(layer + 1, &output);
                 session.output_elems = Some(output.len());
                 if session.integrity {
@@ -295,7 +386,7 @@ impl GuardNnDevice {
                 Ok(Response::Ack)
             }
             Instruction::ExportOutput => {
-                let session = self.session.as_mut().ok_or(GuardNnError::NoSession)?;
+                let session = Self::active_of(&mut self.sessions, self.active)?;
                 let model = session
                     .model
                     .as_ref()
@@ -313,17 +404,17 @@ impl GuardNnDevice {
                 }
                 // The ONLY data egress: ciphertext under the session key.
                 Ok(Response::Output {
-                    message: session.channel.seal(&bytes),
+                    message: session.channel.seal(&bytes)?,
                 })
             }
             Instruction::SignOutput => {
-                let session = self.session.as_mut().ok_or(GuardNnError::NoSession)?;
+                let session = Self::active_of(&mut self.sessions, self.active)?;
                 let report = session.attest.report(self.device_id);
                 let signature = self.sk.sign(&report.digest(), &mut self.rng);
                 Ok(Response::Attestation { report, signature })
             }
             Instruction::SetOutputGrad { message } => {
-                let session = self.session.as_mut().ok_or(GuardNnError::NoSession)?;
+                let session = Self::active_of(&mut self.sessions, self.active)?;
                 let model = session
                     .model
                     .as_ref()
@@ -342,7 +433,9 @@ impl GuardNnDevice {
                 }
                 let edge = model.layers().len();
                 let mem = session.memory.as_mut().expect("model implies memory");
-                mem.counters_mut().next_feature_write();
+                mem.counters_mut()
+                    .next_feature_write()
+                    .map_err(|e| GuardNnError::CounterExhausted { counter: e.counter })?;
                 mem.write_grad(edge, &grad);
                 if session.integrity {
                     session.attest.record_input(&plaintext);
@@ -351,7 +444,7 @@ impl GuardNnDevice {
                 Ok(Response::Ack)
             }
             Instruction::Backward { layer } => {
-                let session = self.session.as_mut().ok_or(GuardNnError::NoSession)?;
+                let session = Self::active_of(&mut self.sessions, self.active)?;
                 let model = session
                     .model
                     .as_ref()
@@ -370,7 +463,9 @@ impl GuardNnDevice {
                 };
                 let d_out = mem.read_grad(layer + 1, l.output_elems() as usize)?;
                 let (d_in, d_w) = crate::nn::backward_layer(&l, &input, &weights, &d_out)?;
-                mem.counters_mut().next_feature_write();
+                mem.counters_mut()
+                    .next_feature_write()
+                    .map_err(|e| GuardNnError::CounterExhausted { counter: e.counter })?;
                 mem.write_grad(layer, &d_in);
                 if l.has_weights() {
                     mem.write_wgrad(layer, &d_w);
@@ -383,7 +478,7 @@ impl GuardNnDevice {
                 Ok(Response::Ack)
             }
             Instruction::UpdateWeight { layer, lr_shift } => {
-                let session = self.session.as_mut().ok_or(GuardNnError::NoSession)?;
+                let session = Self::active_of(&mut self.sessions, self.active)?;
                 let model = session
                     .model
                     .as_ref()
@@ -400,7 +495,9 @@ impl GuardNnDevice {
                 let d_w = mem.read_wgrad(layer, elems)?;
                 crate::nn::sgd_step(&mut weights, &d_w, lr_shift);
                 // New weight epoch: bump CTR_W then write back (w* edge).
-                mem.counters_mut().next_weight();
+                mem.counters_mut()
+                    .next_weight()
+                    .map_err(|e| GuardNnError::CounterExhausted { counter: e.counter })?;
                 mem.write_weights(layer, &weights);
                 if session.integrity {
                     let mut op = Vec::with_capacity(12);
@@ -458,6 +555,21 @@ mod tests {
     }
 
     #[test]
+    fn session_table_instructions_reject_unknown_ids() {
+        let (mut dev, _) = GuardNnDevice::provision(1, 10);
+        assert_eq!(
+            dev.execute(Instruction::SelectSession { session: 9 })
+                .unwrap_err(),
+            GuardNnError::UnknownSession { session: 9 }
+        );
+        assert_eq!(
+            dev.execute(Instruction::CloseSession { session: 9 })
+                .unwrap_err(),
+            GuardNnError::UnknownSession { session: 9 }
+        );
+    }
+
+    #[test]
     fn init_session_rejects_bad_public() {
         let (mut dev, _) = GuardNnDevice::provision(1, 10);
         let err = dev
@@ -506,7 +618,7 @@ mod training_tests {
         };
         user.authenticate_device(&cert).expect("auth");
         let up = user.begin_session();
-        let Ok(Response::SessionInit { device_public }) =
+        let Ok(Response::SessionInit { device_public, .. }) =
             device.execute(Instruction::InitSession {
                 user_public: up,
                 enable_integrity: true,
@@ -581,6 +693,69 @@ mod training_tests {
             })
             .unwrap_err();
         assert_eq!(err, GuardNnError::InvalidState("empty SetReadCTR range"));
+    }
+
+    #[test]
+    fn counter_exhaustion_surfaces_from_set_input() {
+        use guardnn_memprot::vn::VersionCounters;
+        let (mut device, mut user) = session_with_model();
+        let sid = device.active.expect("active session");
+        let mem = device
+            .sessions
+            .get_mut(&sid)
+            .expect("live session")
+            .memory
+            .as_mut()
+            .expect("model implies memory");
+        // Park CTR_IN at its maximum: the next SetInput would wrap and
+        // reuse a VN, so the device must refuse instead.
+        *mem.counters_mut() = VersionCounters::with_raw(u32::MAX, 0, 0);
+        let msg = user.encrypt_tensor(&[1, 2, 3, 4, 5, 6, 7, 8]).expect("enc");
+        assert_eq!(
+            device
+                .execute(Instruction::SetInput { message: msg })
+                .unwrap_err(),
+            GuardNnError::CounterExhausted { counter: "CTR_IN" }
+        );
+    }
+
+    #[test]
+    fn counter_exhaustion_surfaces_from_forward() {
+        use guardnn_memprot::vn::VersionCounters;
+        let (mut device, mut user) = session_with_model();
+        // Real weights and a real input, so Forward reaches the counter
+        // bump (reads succeed) and fails only there.
+        for (layer, w) in crate::testnet::tiny_mlp_weights(1).iter().enumerate() {
+            let message = user.encrypt_tensor(w).expect("enc");
+            device
+                .execute(Instruction::SetWeight { layer, message })
+                .expect("setw");
+        }
+        let message = user.encrypt_tensor(&[1, 2, 3, 4, 5, 6, 7, 8]).expect("enc");
+        device
+            .execute(Instruction::SetInput { message })
+            .expect("seti");
+        let sid = device.active.expect("active session");
+        let mem = device
+            .sessions
+            .get_mut(&sid)
+            .expect("live session")
+            .memory
+            .as_mut()
+            .expect("model implies memory");
+        // Keep CTR_IN and CTR_W as the protocol left them; saturate only
+        // CTR_F,W (with_raw clears the read table, so re-declare edge 0).
+        let (ctr_in, _, ctr_w) = mem.counters().raw();
+        *mem.counters_mut() = VersionCounters::with_raw(ctr_in, u32::MAX, ctr_w);
+        let base = mem.feature_region(0);
+        mem.counters_mut()
+            .set_read_ctr(base, base + 4096, (ctr_in as u64) << 32);
+        assert_eq!(
+            device
+                .execute(Instruction::Forward { layer: 0 })
+                .unwrap_err(),
+            GuardNnError::CounterExhausted { counter: "CTR_F,W" }
+        );
     }
 
     #[test]

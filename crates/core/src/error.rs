@@ -36,6 +36,19 @@ pub enum GuardNnError {
     },
     /// The received DH public value failed validation.
     BadPublicKey,
+    /// A version counter (or channel sequence number) reached its maximum:
+    /// one more bump would reuse a VN under the live key, so the session
+    /// must be re-keyed (`InitSession`).
+    CounterExhausted {
+        /// Which counter saturated (e.g. `"CTR_IN"`, `"CTR_F,W"`,
+        /// `"CTR_W"`, `"send_seq"`).
+        counter: &'static str,
+    },
+    /// The instruction referenced a session id the device does not hold.
+    UnknownSession {
+        /// The offending session id.
+        session: u64,
+    },
 }
 
 impl fmt::Display for GuardNnError {
@@ -57,6 +70,12 @@ impl fmt::Display for GuardNnError {
                 )
             }
             Self::BadPublicKey => write!(f, "invalid public key"),
+            Self::CounterExhausted { counter } => {
+                write!(f, "{counter} exhausted: session must be re-keyed")
+            }
+            Self::UnknownSession { session } => {
+                write!(f, "unknown session id {session}")
+            }
         }
     }
 }
@@ -82,6 +101,8 @@ mod tests {
                 actual: 5,
             },
             GuardNnError::BadPublicKey,
+            GuardNnError::CounterExhausted { counter: "CTR_IN" },
+            GuardNnError::UnknownSession { session: 3 },
         ];
         for e in cases {
             let msg = e.to_string();

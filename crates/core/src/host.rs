@@ -25,14 +25,33 @@ pub struct HostCounterMirror {
 
 impl HostCounterMirror {
     /// Mirrors `SetInput`.
-    pub fn on_set_input(&mut self) {
-        self.ctr_in += 1;
+    ///
+    /// # Errors
+    ///
+    /// [`GuardNnError::CounterExhausted`] when the mirrored `CTR_IN` would
+    /// wrap — the device refuses the same bump, so a wrapping mirror would
+    /// silently drift from the on-chip state and reuse a VN.
+    pub fn on_set_input(&mut self) -> Result<(), GuardNnError> {
+        self.ctr_in = self
+            .ctr_in
+            .checked_add(1)
+            .ok_or(GuardNnError::CounterExhausted { counter: "CTR_IN" })?;
         self.ctr_fw = 0;
+        Ok(())
     }
 
     /// Mirrors a `Forward` that wrote features.
-    pub fn on_forward(&mut self) {
-        self.ctr_fw += 1;
+    ///
+    /// # Errors
+    ///
+    /// [`GuardNnError::CounterExhausted`] when the mirrored `CTR_F,W`
+    /// would wrap (see [`HostCounterMirror::on_set_input`]).
+    pub fn on_forward(&mut self) -> Result<(), GuardNnError> {
+        self.ctr_fw = self
+            .ctr_fw
+            .checked_add(1)
+            .ok_or(GuardNnError::CounterExhausted { counter: "CTR_F,W" })?;
+        Ok(())
     }
 
     /// The VN the device used for its most recent feature write.
@@ -46,10 +65,197 @@ impl HostCounterMirror {
     }
 }
 
+/// Byte extent of a tensor region holding `elems` device elements, exactly
+/// as the device pads it: at least one 16-byte AES block even for empty
+/// tensors. Host-issued `SetReadCTR` ranges must use this same rule or the
+/// declared range drifts from the region the device actually reads.
+pub fn region_extent(elems: u64) -> u64 {
+    (elems * ELEM_BYTES).max(16)
+}
+
+/// Byte extent of feature (or gradient) edge `edge` of `network`: edge 0
+/// is the network input, edge `i + 1` is layer `i`'s output.
+pub fn edge_extent(network: &Network, edge: usize) -> u64 {
+    let elems = if edge == 0 {
+        network.layers().first().map_or(0, |l| l.input_elems())
+    } else {
+        network.layers()[edge - 1].output_elems()
+    };
+    region_extent(elems)
+}
+
+/// Fetches the device certificate and lets the user verify it against
+/// their pinned manufacturer key (`GetPk` → `authenticate_device`) —
+/// shared by [`UntrustedHost::establish`] and
+/// [`crate::server::DeviceServer::connect`].
+pub(crate) fn authenticate(
+    exec: &mut dyn FnMut(Instruction) -> Result<Response, GuardNnError>,
+    user: &mut RemoteUser,
+) -> Result<(), GuardNnError> {
+    let Response::Pk(cert) = exec(Instruction::GetPk)? else {
+        return Err(GuardNnError::InvalidState("unexpected response to GetPk"));
+    };
+    user.authenticate_device(&cert)
+}
+
+/// Runs the fallible key-exchange core shared by
+/// [`UntrustedHost::establish`] and
+/// [`crate::server::DeviceServer::establish`]: `begin_session` →
+/// `InitSession` → `complete_session`, closing the half-open device
+/// session when the user rejects the device's ephemeral public value — so
+/// repeated failed establishes can never exhaust the on-chip session
+/// table. Returns the new device session id; `exec` is the driver's
+/// instruction-issue hook.
+pub(crate) fn run_key_exchange(
+    exec: &mut dyn FnMut(Instruction) -> Result<Response, GuardNnError>,
+    user: &mut RemoteUser,
+    integrity: bool,
+) -> Result<u64, GuardNnError> {
+    let user_public = user.begin_session();
+    let Response::SessionInit {
+        session,
+        device_public,
+    } = exec(Instruction::InitSession {
+        user_public,
+        enable_integrity: integrity,
+    })?
+    else {
+        return Err(GuardNnError::InvalidState(
+            "unexpected response to InitSession",
+        ));
+    };
+    if let Err(e) = user.complete_session(&device_public) {
+        let _ = exec(Instruction::CloseSession { session });
+        return Err(e);
+    }
+    Ok(session)
+}
+
+/// Imports session-encrypted weights layer by layer, skipping weightless
+/// layers (shared by [`UntrustedHost::establish`] and
+/// [`crate::server::DeviceServer::load_model`]).
+pub(crate) fn import_weights(
+    exec: &mut dyn FnMut(Instruction) -> Result<Response, GuardNnError>,
+    user: &mut RemoteUser,
+    weights: &[Vec<i32>],
+) -> Result<(), GuardNnError> {
+    for (layer, w) in weights.iter().enumerate() {
+        if w.is_empty() {
+            continue;
+        }
+        let message = user.encrypt_tensor(w)?;
+        exec(Instruction::SetWeight { layer, message })?;
+    }
+    Ok(())
+}
+
+/// Region base addresses the training backward sweep reads from, queried
+/// up front (the layout is fixed once the model is loaded).
+pub(crate) struct TrainRegions {
+    /// Feature edge base per layer (the stashed forward activations).
+    feature: Vec<u64>,
+    /// Gradient edge base per edge `0..=n`.
+    grad: Vec<u64>,
+    /// Weight-gradient base per layer.
+    wgrad: Vec<u64>,
+}
+
+impl TrainRegions {
+    /// Queries the loaded model's layout from the device's *active*
+    /// session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device state errors (no session / no model).
+    pub(crate) fn query(device: &GuardNnDevice, layers: usize) -> Result<Self, GuardNnError> {
+        Ok(Self {
+            feature: (0..layers)
+                .map(|l| device.feature_region(l))
+                .collect::<Result<_, _>>()?,
+            grad: (0..=layers)
+                .map(|e| device.grad_region(e))
+                .collect::<Result<_, _>>()?,
+            wgrad: (0..layers)
+                .map(|l| device.wgrad_region(l))
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+/// Drives the training backward sweep — `SetOutputGrad`, then per layer in
+/// reverse the feature + gradient `SetReadCTR` pair, `Backward`, and (for
+/// weighted layers) the weight-gradient `SetReadCTR` + `UpdateWeight` —
+/// with all the `CTR_F,W` mirror bookkeeping. This security-critical VN
+/// sequence is shared by [`UntrustedHost::train_step`] and
+/// [`crate::server::DeviceServer::train_step`] so the two drivers cannot
+/// drift; `exec` is each driver's instruction-issue hook.
+pub(crate) fn run_backward_sweep(
+    exec: &mut dyn FnMut(Instruction) -> Result<Response, GuardNnError>,
+    counters: &mut HostCounterMirror,
+    network: &Network,
+    regions: &TrainRegions,
+    edge_vns: &[u64],
+    output_grad_message: Vec<u8>,
+    lr_shift: u32,
+) -> Result<(), GuardNnError> {
+    // Loss gradient for the final edge.
+    exec(Instruction::SetOutputGrad {
+        message: output_grad_message,
+    })?;
+    counters.on_forward()?; // SetOutputGrad bumps CTR_F,W
+    let n = network.layers().len();
+    let mut grad_vns = vec![0u64; n + 1];
+    grad_vns[n] = counters.current_write_vn();
+
+    for layer in (0..n).rev() {
+        let l = &network.layers()[layer];
+        // The device reads: stashed features of edge `layer`, gradient of
+        // edge `layer + 1`.
+        let start = regions.feature[layer];
+        exec(Instruction::SetReadCtr {
+            start,
+            end: start + edge_extent(network, layer),
+            vn: edge_vns[layer],
+        })?;
+        let start = regions.grad[layer + 1];
+        exec(Instruction::SetReadCtr {
+            start,
+            end: start + edge_extent(network, layer + 1),
+            vn: grad_vns[layer + 1],
+        })?;
+        exec(Instruction::Backward { layer })?;
+        counters.on_forward()?; // Backward bumps CTR_F,W
+        grad_vns[layer] = counters.current_write_vn();
+
+        if l.has_weights() {
+            // The weight gradient was written with the same VN as the
+            // input gradient of this layer.
+            let start = regions.wgrad[layer];
+            exec(Instruction::SetReadCtr {
+                start,
+                end: start + region_extent(l.weight_elems()),
+                vn: grad_vns[layer],
+            })?;
+            exec(Instruction::UpdateWeight { layer, lr_shift })?;
+        }
+    }
+    Ok(())
+}
+
 /// The untrusted host scheduler.
 #[derive(Clone, Debug, Default)]
 pub struct UntrustedHost {
     counters: HostCounterMirror,
+    /// Last live session id per device id, so a re-key (re-`establish`)
+    /// frees the on-chip slot it previously claimed *on that device* —
+    /// including when the host returns to a device after serving others.
+    /// The device-id key pins each close to the device that issued the
+    /// id: ids are sequential per device, so closing by bare id on
+    /// whatever device was passed in could destroy an unrelated user's
+    /// session.
+    sessions: std::collections::BTreeMap<u64, u64>,
+    /// Device id of the most recent `establish`.
+    current_device: Option<u64>,
 }
 
 impl UntrustedHost {
@@ -63,8 +269,47 @@ impl UntrustedHost {
         self.counters
     }
 
+    /// The device session id this host is driving, if established.
+    pub fn session(&self) -> Option<u64> {
+        self.current_device
+            .and_then(|d| self.sessions.get(&d).copied())
+    }
+
+    /// Re-selects this host's session as the device's active hardware
+    /// context if another actor (a second host, a `DeviceServer`) switched
+    /// it away. The read-counter table does not survive the switch, but
+    /// every driver sequence below re-declares its read counters before
+    /// use, so a plain `SelectSession` suffices.
+    ///
+    /// The host holds ONE counter mirror, synced to the most recent
+    /// `establish` — so driving a previously-established session on a
+    /// *different* device would declare stale VNs and silently garble.
+    /// That case is refused; re-`establish` on the device first (which
+    /// also frees the slot the host left behind there).
+    fn reselect(&self, device: &mut GuardNnDevice) -> Result<(), GuardNnError> {
+        match self.current_device {
+            // Nothing established through this host: let the device
+            // report its own state error.
+            None => Ok(()),
+            Some(d) if d == device.device_id() => {
+                if let Some(&sid) = self.sessions.get(&d) {
+                    if device.active_session() != Some(sid) {
+                        device.execute(Instruction::SelectSession { session: sid })?;
+                    }
+                }
+                Ok(())
+            }
+            Some(_) => Err(GuardNnError::InvalidState(
+                "host counter mirror tracks a different device; re-establish first",
+            )),
+        }
+    }
+
     /// Establishes a session: authenticate → key exchange → load model →
-    /// import weights.
+    /// import weights. Re-establishing (e.g. to re-key after
+    /// [`GuardNnError::CounterExhausted`]) closes the host's previous
+    /// device session first, so repeated re-keys never exhaust the
+    /// device's [`crate::device::MAX_SESSIONS`]-entry table.
     ///
     /// # Errors
     ///
@@ -77,35 +322,23 @@ impl UntrustedHost {
         weights: &[Vec<i32>],
         integrity: bool,
     ) -> Result<(), GuardNnError> {
-        let Response::Pk(cert) = device.execute(Instruction::GetPk)? else {
-            return Err(GuardNnError::InvalidState("unexpected response to GetPk"));
-        };
-        user.authenticate_device(&cert)?;
+        authenticate(&mut |instr| device.execute(instr), user)?;
 
-        let user_public = user.begin_session();
-        let Response::SessionInit { device_public } = device.execute(Instruction::InitSession {
-            user_public,
-            enable_integrity: integrity,
-        })?
-        else {
-            return Err(GuardNnError::InvalidState(
-                "unexpected response to InitSession",
-            ));
-        };
-        user.complete_session(&device_public)?;
+        if let Some(old) = self.sessions.remove(&device.device_id()) {
+            // Free the slot this host previously claimed on THIS device.
+            // Best-effort: the slot may already be gone (cloned host) —
+            // `UnknownSession` is not a protocol failure here.
+            let _ = device.execute(Instruction::CloseSession { session: old });
+        }
+        let session = run_key_exchange(&mut |instr| device.execute(instr), user, integrity)?;
+        self.sessions.insert(device.device_id(), session);
+        self.current_device = Some(device.device_id());
         self.counters = HostCounterMirror::default();
 
         device.execute(Instruction::LoadModel {
             network: network.clone(),
         })?;
-        for (layer, w) in weights.iter().enumerate() {
-            if w.is_empty() {
-                continue;
-            }
-            let message = user.encrypt_tensor(w)?;
-            device.execute(Instruction::SetWeight { layer, message })?;
-        }
-        Ok(())
+        import_weights(&mut |instr| device.execute(instr), user, weights)
     }
 
     /// Runs one inference in an established session: import input →
@@ -124,16 +357,17 @@ impl UntrustedHost {
         network: &Network,
         input: &[i32],
     ) -> Result<(Vec<i32>, Vec<u64>), GuardNnError> {
+        self.reselect(device)?;
         let message = user.encrypt_tensor(input)?;
         device.execute(Instruction::SetInput { message })?;
-        self.counters.on_set_input();
+        self.counters.on_set_input()?;
 
         let mut edge_vns = Vec::with_capacity(network.layers().len() + 1);
         edge_vns.push(self.counters.current_write_vn());
         for layer in 0..network.layers().len() {
             self.set_read_ctr_for_edge(device, network, layer, edge_vns[layer])?;
             device.execute(Instruction::Forward { layer })?;
-            self.counters.on_forward();
+            self.counters.on_forward()?;
             edge_vns.push(self.counters.current_write_vn());
         }
 
@@ -187,39 +421,17 @@ impl UntrustedHost {
         // Forward, stashing per-edge feature VNs.
         let (_, edge_vns) = self.infer(device, user, network, input)?;
 
-        // Loss gradient for the final edge.
         let message = user.encrypt_tensor(output_grad)?;
-        device.execute(Instruction::SetOutputGrad { message })?;
-        self.counters.on_forward(); // SetOutputGrad bumps CTR_F,W
-        let n = network.layers().len();
-        let mut grad_vns = vec![0u64; n + 1];
-        grad_vns[n] = self.counters.current_write_vn();
-
-        // Backward sweep.
-        for layer in (0..n).rev() {
-            let l = &network.layers()[layer];
-            // The device reads: stashed features of edge `layer`, gradient
-            // of edge `layer + 1`.
-            self.set_read_ctr_for_edge(device, network, layer, edge_vns[layer])?;
-            self.set_read_ctr_for_grad_edge(device, network, layer + 1, grad_vns[layer + 1])?;
-            device.execute(Instruction::Backward { layer })?;
-            self.counters.on_forward(); // Backward bumps CTR_F,W
-            grad_vns[layer] = self.counters.current_write_vn();
-
-            if l.has_weights() {
-                // The weight gradient was written with the same VN as the
-                // input gradient of this layer.
-                let start = device.wgrad_region(layer)?;
-                let bytes = l.weight_elems() * ELEM_BYTES;
-                device.execute(Instruction::SetReadCtr {
-                    start,
-                    end: start + bytes.max(16),
-                    vn: grad_vns[layer],
-                })?;
-                device.execute(Instruction::UpdateWeight { layer, lr_shift })?;
-            }
-        }
-        Ok(())
+        let regions = TrainRegions::query(device, network.layers().len())?;
+        run_backward_sweep(
+            &mut |instr| device.execute(instr),
+            &mut self.counters,
+            network,
+            &regions,
+            &edge_vns,
+            message,
+            lr_shift,
+        )
     }
 
     /// Issues `SetReadCTR` covering gradient edge `edge`.
@@ -235,17 +447,9 @@ impl UntrustedHost {
         vn: u64,
     ) -> Result<(), GuardNnError> {
         let start = device.grad_region(edge)?;
-        let bytes = if edge == 0 {
-            network
-                .layers()
-                .first()
-                .map_or(0, |l| l.input_elems() * ELEM_BYTES)
-        } else {
-            network.layers()[edge - 1].output_elems() * ELEM_BYTES
-        };
         device.execute(Instruction::SetReadCtr {
             start,
-            end: start + bytes.max(16),
+            end: start + edge_extent(network, edge),
             vn,
         })?;
         Ok(())
@@ -264,17 +468,9 @@ impl UntrustedHost {
         vn: u64,
     ) -> Result<(), GuardNnError> {
         let start = device.feature_region(edge)?;
-        let bytes = if edge == 0 {
-            network
-                .layers()
-                .first()
-                .map_or(0, |l| l.input_elems() * ELEM_BYTES)
-        } else {
-            network.layers()[edge - 1].output_elems() * ELEM_BYTES
-        };
         device.execute(Instruction::SetReadCtr {
             start,
-            end: start + bytes.max(16),
+            end: start + edge_extent(network, edge),
             vn,
         })?;
         Ok(())
@@ -292,6 +488,7 @@ impl UntrustedHost {
         user: &RemoteUser,
         expected: &crate::attestation::AttestationReport,
     ) -> Result<(), GuardNnError> {
+        self.reselect(device)?;
         let Response::Attestation { report, signature } =
             device.execute(Instruction::SignOutput)?
         else {
@@ -417,12 +614,120 @@ mod tests {
     #[test]
     fn counter_mirror_tracks_device() {
         let mut m = HostCounterMirror::default();
-        m.on_set_input();
+        m.on_set_input().expect("bump");
         assert_eq!(m.current_write_vn(), 1 << 32);
-        m.on_forward();
+        m.on_forward().expect("bump");
         assert_eq!(m.current_write_vn(), (1 << 32) | 1);
-        m.on_set_input();
+        m.on_set_input().expect("bump");
         assert_eq!(m.current_write_vn(), 2 << 32);
+    }
+
+    #[test]
+    fn rekeying_reuses_the_session_table_slot() {
+        // Re-keying via a fresh establish must close the previous device
+        // session: the documented CounterExhausted recovery path would
+        // otherwise brick the device after MAX_SESSIONS re-keys.
+        let (mut device, maker_pk) = GuardNnDevice::provision(99, 7);
+        let mut user = RemoteUser::new(maker_pk, 3);
+        let net = testnet::tiny_mlp();
+        let weights = testnet::tiny_mlp_weights(1);
+        let mut host = UntrustedHost::new();
+        for round in 0..(crate::device::MAX_SESSIONS + 2) {
+            host.establish(&mut device, &mut user, &net, &weights, false)
+                .unwrap_or_else(|e| panic!("re-key {round} failed: {e}"));
+            assert_eq!(device.session_count(), 1);
+        }
+    }
+
+    #[test]
+    fn rekey_on_another_device_spares_its_sessions() {
+        // Host h served device1 (session id 1 there). device2 has its own
+        // live session 1 belonging to a different user. Re-pointing h at
+        // device2 must NOT close that session: ids are sequential per
+        // device, so a bare-id close would hit an unrelated user.
+        let (mut device1, maker1) = GuardNnDevice::provision(1, 100);
+        let (mut device2, maker2) = GuardNnDevice::provision(2, 200);
+        let net = testnet::tiny_mlp();
+        let weights = testnet::tiny_mlp_weights(4);
+
+        let mut h = UntrustedHost::new();
+        let mut u1 = RemoteUser::new(maker1.clone(), 1);
+        h.establish(&mut device1, &mut u1, &net, &weights, false)
+            .expect("establish on device1");
+
+        // Another host/user pair establishes on device2 (gets id 1 there).
+        let mut other = UntrustedHost::new();
+        let mut u2 = RemoteUser::new(maker2.clone(), 2);
+        other
+            .establish(&mut device2, &mut u2, &net, &weights, false)
+            .expect("establish on device2");
+        assert_eq!(h.session(), other.session(), "ids collide by design");
+
+        // h re-keys against device2: the other user's session survives
+        // and keeps working.
+        let mut u3 = RemoteUser::new(maker2, 3);
+        h.establish(&mut device2, &mut u3, &net, &weights, false)
+            .expect("re-establish on device2");
+        assert_eq!(device2.session_count(), 2);
+        // The surviving host transparently re-selects its own session
+        // (h's establish left a different context active on device2).
+        let probe = vec![1, 2, 3, 4, 5, 6, 7, 8];
+        let (out, _) = other
+            .infer(&mut device2, &mut u2, &net, &probe)
+            .expect("survivor still serves");
+        assert_eq!(out, testnet::tiny_mlp_reference(&weights, &probe));
+
+        // Returning to device1 closes the session h left behind there —
+        // bouncing a host between devices must not leak slots on either.
+        let mut u4 = RemoteUser::new(maker1, 4);
+        h.establish(&mut device1, &mut u4, &net, &weights, false)
+            .expect("return to device1");
+        assert_eq!(device1.session_count(), 1);
+    }
+
+    #[test]
+    fn stale_device_mirror_is_refused_not_garbled() {
+        // The host holds ONE counter mirror. After it re-establishes on a
+        // second device, driving the first device's still-live session
+        // would declare stale VNs and silently garble — the host must
+        // refuse instead.
+        let (mut device1, maker1) = GuardNnDevice::provision(11, 300);
+        let (mut device2, maker2) = GuardNnDevice::provision(12, 400);
+        let net = testnet::tiny_mlp();
+        let weights = testnet::tiny_mlp_weights(5);
+        let mut h = UntrustedHost::new();
+        let mut u1 = RemoteUser::new(maker1, 1);
+        h.establish(&mut device1, &mut u1, &net, &weights, false)
+            .expect("dev1");
+        let input = vec![1, 2, 3, 4, 5, 6, 7, 8];
+        h.infer(&mut device1, &mut u1, &net, &input).expect("infer");
+        let mut u2 = RemoteUser::new(maker2, 2);
+        h.establish(&mut device2, &mut u2, &net, &weights, false)
+            .expect("dev2");
+        assert_eq!(
+            h.infer(&mut device1, &mut u1, &net, &input).unwrap_err(),
+            GuardNnError::InvalidState(
+                "host counter mirror tracks a different device; re-establish first"
+            )
+        );
+    }
+
+    #[test]
+    fn counter_mirror_refuses_to_wrap() {
+        let mut m = HostCounterMirror {
+            ctr_in: u32::MAX,
+            ctr_fw: u32::MAX,
+        };
+        assert_eq!(
+            m.on_set_input().unwrap_err(),
+            GuardNnError::CounterExhausted { counter: "CTR_IN" }
+        );
+        assert_eq!(
+            m.on_forward().unwrap_err(),
+            GuardNnError::CounterExhausted { counter: "CTR_F,W" }
+        );
+        // Failed bumps must not move the mirror.
+        assert_eq!(m.current_write_vn(), u64::MAX);
     }
 
     #[test]
@@ -450,7 +755,7 @@ mod tests {
         };
         user2.authenticate_device(&cert).expect("auth");
         let up = user2.begin_session();
-        let Response::SessionInit { device_public } = device2
+        let Response::SessionInit { device_public, .. } = device2
             .execute(Instruction::InitSession {
                 user_public: up,
                 enable_integrity: false,

@@ -19,13 +19,28 @@ pub enum Instruction {
     /// Returns the device public key and its manufacturer certificate.
     GetPk,
     /// Runs the key exchange against the user's ephemeral public value,
-    /// clears all device state, and (optionally) enables integrity
-    /// verification and instruction hashing.
+    /// allocates a fresh session (own keys, counters, attestation chain,
+    /// protected memory), makes it the active hardware context, and
+    /// (optionally) enables integrity verification and instruction hashing.
     InitSession {
         /// The remote user's ephemeral DH public value.
         user_public: BigUint,
         /// Enable off-chip integrity verification and attestation hashing.
         enable_integrity: bool,
+    },
+    /// Switches the active hardware context to another live session
+    /// (multi-user serving). The shared `SetReadCTR` range table does not
+    /// survive the switch: the host must replay its read counters to
+    /// resume the incoming session (checkpointing).
+    SelectSession {
+        /// Session id from that session's `InitSession` response.
+        session: u64,
+    },
+    /// Tears down one session: keys, counters, attestation chain, and
+    /// protected memory are discarded; the session id becomes invalid.
+    CloseSession {
+        /// Session id to destroy.
+        session: u64,
     },
     /// Declares the (public) model structure so the device can lay out its
     /// protected DRAM and size each layer's operands.
@@ -95,6 +110,8 @@ impl Instruction {
         match self {
             Self::GetPk => "GETPK",
             Self::InitSession { .. } => "INITSESSION",
+            Self::SelectSession { .. } => "SELECTSESSION",
+            Self::CloseSession { .. } => "CLOSESESSION",
             Self::LoadModel { .. } => "LOADMODEL",
             Self::SetWeight { .. } => "SETWEIGHT",
             Self::SetInput { .. } => "SETINPUT",
@@ -109,9 +126,18 @@ impl Instruction {
     }
 
     /// Whether this instruction is recorded in the attestation chain.
-    /// (`GetPk` is a pure query; `InitSession` resets the chain.)
+    /// (`GetPk` is a pure query; `InitSession` resets the chain; the
+    /// session-table plumbing `SelectSession`/`CloseSession` carries no
+    /// operands the chain needs to witness — every attested instruction is
+    /// already recorded inside the session it executes in.)
     pub fn attested(&self) -> bool {
-        !matches!(self, Self::GetPk | Self::InitSession { .. })
+        !matches!(
+            self,
+            Self::GetPk
+                | Self::InitSession { .. }
+                | Self::SelectSession { .. }
+                | Self::CloseSession { .. }
+        )
     }
 }
 
@@ -121,8 +147,12 @@ impl Instruction {
 pub enum Response {
     /// Device public key + certificate.
     Pk(Certificate),
-    /// Key-exchange reply: the device's ephemeral DH public value.
+    /// Key-exchange reply: the new session's id and the device's ephemeral
+    /// DH public value.
     SessionInit {
+        /// Id of the freshly allocated session (used by `SelectSession` /
+        /// `CloseSession` to address it later).
+        session: u64,
         /// Device's ephemeral public value.
         device_public: BigUint,
     },
@@ -150,6 +180,8 @@ mod tests {
     fn mnemonics_unique() {
         let instrs = [
             Instruction::GetPk,
+            Instruction::SelectSession { session: 0 },
+            Instruction::CloseSession { session: 0 },
             Instruction::SetReadCtr {
                 start: 0,
                 end: 1,
@@ -168,6 +200,8 @@ mod tests {
     #[test]
     fn attestation_coverage() {
         assert!(!Instruction::GetPk.attested());
+        assert!(!Instruction::SelectSession { session: 1 }.attested());
+        assert!(!Instruction::CloseSession { session: 1 }.attested());
         assert!(Instruction::Forward { layer: 0 }.attested());
         assert!(Instruction::ExportOutput.attested());
         assert!(Instruction::SetReadCtr {

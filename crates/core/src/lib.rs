@@ -20,6 +20,10 @@
 //! * [`memory`] — the device's DRAM layout on top of
 //!   [`guardnn_memprot::functional::ProtectedMemory`].
 //! * [`host`] — the untrusted host scheduler (correct and malicious).
+//! * [`server`] — the multi-session [`server::DeviceServer`]: one device,
+//!   N interleaved user sessions, explicit per-session state machines,
+//!   `SetReadCTR` checkpoint/replay on preemption, and ISA-level input
+//!   batching (`infer_batch`).
 //! * [`adversary`] — physical-attack drivers (tamper, replay) used by the
 //!   security test suite.
 //! * [`perf`] — one-call performance evaluation used by the benchmark
@@ -59,10 +63,12 @@ pub mod isa;
 pub mod memory;
 pub mod nn;
 pub mod perf;
+pub mod server;
 pub mod session;
 pub mod testnet;
 
 pub use device::GuardNnDevice;
 pub use error::GuardNnError;
 pub use isa::{Instruction, Response};
+pub use server::{DeviceServer, SessionId, SessionState};
 pub use session::RemoteUser;

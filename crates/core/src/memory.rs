@@ -261,7 +261,7 @@ mod tests {
     #[test]
     fn weights_round_trip() {
         let (mut dm, _) = setup(true);
-        dm.counters_mut().next_weight();
+        dm.counters_mut().next_weight().expect("bump");
         let w: Vec<i32> = (0..32).collect();
         dm.write_weights(0, &w);
         assert_eq!(dm.read_weights(0, 32).unwrap(), w);
@@ -279,7 +279,7 @@ mod tests {
     #[test]
     fn features_need_correct_read_ctr() {
         let (mut dm, _) = setup(false);
-        dm.counters_mut().next_input();
+        dm.counters_mut().next_input().expect("bump");
         let data: Vec<i32> = (100..108).collect();
         dm.write_features(0, &data);
         let write_vn = dm.counters().feature_write_vn();
@@ -292,7 +292,7 @@ mod tests {
     #[test]
     fn wrong_read_ctr_garbles_without_integrity() {
         let (mut dm, _) = setup(false);
-        dm.counters_mut().next_input();
+        dm.counters_mut().next_input().expect("bump");
         let data: Vec<i32> = (0..8).collect();
         dm.write_features(0, &data);
         let base = dm.feature_region(0);
@@ -304,7 +304,7 @@ mod tests {
     #[test]
     fn wrong_read_ctr_detected_with_integrity() {
         let (mut dm, _) = setup(true);
-        dm.counters_mut().next_input();
+        dm.counters_mut().next_input().expect("bump");
         dm.write_features(0, &[1, 2, 3, 4, 5, 6, 7, 8]);
         let base = dm.feature_region(0);
         dm.counters_mut().set_read_ctr(base, base + 4096, 0xDEAD);
@@ -331,7 +331,7 @@ mod tests {
     #[test]
     fn dram_is_ciphertext() {
         let (mut dm, _) = setup(false);
-        dm.counters_mut().next_weight();
+        dm.counters_mut().next_weight().expect("bump");
         let w = vec![0x01020304i32; 8];
         dm.write_weights(0, &w);
         let raw = dm.protected_memory().raw(dm.weight_region(0), 32);

@@ -3,9 +3,39 @@
 //! `InitSession` runs an ephemeral key exchange between the remote user and
 //! the accelerator (paper: ECDHE-ECDSA on the MicroBlaze; here: prime-field
 //! DH + Schnorr — see DESIGN.md §4). Both sides derive a channel key pair
-//! and exchange tensors through an encrypt-then-MAC channel with sequence
-//! numbers, so the untrusted host relaying the messages can neither read
-//! nor undetectably modify or replay them.
+//! and exchange tensors through an encrypt-then-MAC channel with **strictly
+//! sequential** sequence numbers, so the untrusted host relaying the
+//! messages can neither read, undetectably modify, replay, reorder, nor
+//! silently *drop* them: a message only opens if its sequence number is
+//! exactly the next one expected.
+//!
+//! # Example: a secure channel over a DH exchange
+//!
+//! ```
+//! use guardnn::session::{derive_channel_keys, ChannelEnd, SecureChannel};
+//! use guardnn::GuardNnError;
+//! use guardnn_crypto::dh::{DhGroup, DhKeyPair};
+//! use guardnn_crypto::rng::TrngModel;
+//!
+//! // Ephemeral key exchange (in the protocol this is `InitSession`).
+//! let group = DhGroup::oakley768();
+//! let user_kp = DhKeyPair::generate(&group, &mut TrngModel::from_seed(1));
+//! let dev_kp = DhKeyPair::generate(&group, &mut TrngModel::from_seed(2));
+//! let (k_enc, k_mac) = derive_channel_keys(&user_kp, dev_kp.public_key());
+//! let mut user = SecureChannel::new(k_enc, k_mac, ChannelEnd::User);
+//! let (k_enc, k_mac) = derive_channel_keys(&dev_kp, user_kp.public_key());
+//! let mut device = SecureChannel::new(k_enc, k_mac, ChannelEnd::Device);
+//!
+//! // The untrusted host relays ciphertext; the device opens in order.
+//! let m1 = user.seal(b"input tensor")?;
+//! let m2 = user.seal(b"next input")?;
+//! assert_eq!(device.open(&m1)?, b"input tensor");
+//!
+//! // Replaying m1 — or skipping ahead had m1 been dropped — is rejected.
+//! assert_eq!(device.open(&m1).unwrap_err(), GuardNnError::ChannelAuth);
+//! assert_eq!(device.open(&m2)?, b"next input");
+//! # Ok::<(), GuardNnError>(())
+//! ```
 
 use crate::attestation::AttestationReport;
 use crate::error::GuardNnError;
@@ -58,8 +88,19 @@ impl SecureChannel {
 
     /// Encrypt-then-MAC one message. Wire format:
     /// `seq (8) ‖ tag (16) ‖ ciphertext`.
-    pub fn seal(&mut self, plaintext: &[u8]) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`GuardNnError::CounterExhausted`] when the send sequence number
+    /// reaches `u64::MAX`: sealing with it would leave the receive side no
+    /// valid successor, so the channel refuses and must be re-keyed.
+    pub fn seal(&mut self, plaintext: &[u8]) -> Result<Vec<u8>, GuardNnError> {
         let seq = self.send_seq;
+        if seq == u64::MAX {
+            return Err(GuardNnError::CounterExhausted {
+                counter: "send_seq",
+            });
+        }
         self.send_seq += 1;
         let mut ct = plaintext.to_vec();
         // Unique counter blocks: (direction ‖ seq) as the version, message
@@ -71,16 +112,20 @@ impl SecureChannel {
         let tag = self.tag(self.end, seq, &ct);
         wire.extend_from_slice(&tag);
         wire.extend_from_slice(&ct);
-        wire
+        Ok(wire)
     }
 
-    /// Verifies and decrypts a message from the peer, enforcing strictly
-    /// increasing sequence numbers (replay protection).
+    /// Verifies and decrypts a message from the peer, enforcing **strictly
+    /// sequential** sequence numbers: the message must carry exactly the
+    /// next expected `seq`. A lower value is a replay; a higher value means
+    /// the relaying host *dropped* at least one sealed message in between —
+    /// both are authentication failures, so neither endpoint can be made to
+    /// silently skip traffic.
     ///
     /// # Errors
     ///
-    /// [`GuardNnError::ChannelAuth`] on malformed input, bad tag, or
-    /// replayed sequence number.
+    /// [`GuardNnError::ChannelAuth`] on malformed input, bad tag, replayed,
+    /// dropped-past, or saturating (`u64::MAX`) sequence number.
     pub fn open(&mut self, wire: &[u8]) -> Result<Vec<u8>, GuardNnError> {
         if wire.len() < 24 {
             return Err(GuardNnError::ChannelAuth);
@@ -92,10 +137,13 @@ impl SecureChannel {
             ChannelEnd::User => ChannelEnd::Device,
             ChannelEnd::Device => ChannelEnd::User,
         };
-        if self.tag(peer, seq, ct) != tag || seq < self.recv_seq {
+        if self.tag(peer, seq, ct) != tag || seq != self.recv_seq {
             return Err(GuardNnError::ChannelAuth);
         }
-        self.recv_seq = seq + 1;
+        // `seal` never emits u64::MAX, so an honest peer cannot reach this
+        // guard — it pins the overflow of the successor computation against
+        // any future relaxation of the send-side check.
+        self.recv_seq = seq.checked_add(1).ok_or(GuardNnError::ChannelAuth)?;
         let mut pt = ct.to_vec();
         self.enc
             .apply_range(0, Self::direction_bit(peer) | seq, &mut pt);
@@ -207,7 +255,7 @@ impl RemoteUser {
         for v in data {
             bytes.extend_from_slice(&v.to_le_bytes());
         }
-        Ok(self.channel_mut()?.seal(&bytes))
+        self.channel_mut()?.seal(&bytes)
     }
 
     /// Decrypts an `ExportOutput` message back to an i32 tensor.
@@ -274,16 +322,16 @@ mod tests {
     #[test]
     fn channel_round_trip_both_directions() {
         let (mut user, mut device) = channel_pair();
-        let wire = user.seal(b"weights going in");
+        let wire = user.seal(b"weights going in").unwrap();
         assert_eq!(device.open(&wire).unwrap(), b"weights going in");
-        let wire = device.seal(b"logits coming out");
+        let wire = device.seal(b"logits coming out").unwrap();
         assert_eq!(user.open(&wire).unwrap(), b"logits coming out");
     }
 
     #[test]
     fn channel_hides_plaintext() {
         let (mut user, _) = channel_pair();
-        let wire = user.seal(b"super secret tensor data!!");
+        let wire = user.seal(b"super secret tensor data!!").unwrap();
         assert!(!wire
             .windows(8)
             .any(|w| b"super secret tensor data!!".windows(8).any(|s| s == w)));
@@ -292,7 +340,7 @@ mod tests {
     #[test]
     fn tampered_message_rejected() {
         let (mut user, mut device) = channel_pair();
-        let mut wire = user.seal(b"payload");
+        let mut wire = user.seal(b"payload").unwrap();
         *wire.last_mut().expect("nonempty") ^= 1;
         assert_eq!(device.open(&wire).unwrap_err(), GuardNnError::ChannelAuth);
     }
@@ -300,9 +348,23 @@ mod tests {
     #[test]
     fn replayed_message_rejected() {
         let (mut user, mut device) = channel_pair();
-        let wire = user.seal(b"payload");
+        let wire = user.seal(b"payload").unwrap();
         assert!(device.open(&wire).is_ok());
         assert_eq!(device.open(&wire).unwrap_err(), GuardNnError::ChannelAuth);
+    }
+
+    #[test]
+    fn dropped_message_detected_by_receiver() {
+        // A relaying host swallows m1 and forwards only m2: the receiver
+        // must refuse m2 (seq 1 != expected 0) instead of silently
+        // accepting the gap — and m1 still opens afterwards, so an honest
+        // late delivery recovers the channel.
+        let (mut user, mut device) = channel_pair();
+        let m1 = user.seal(b"first").unwrap();
+        let m2 = user.seal(b"second").unwrap();
+        assert_eq!(device.open(&m2).unwrap_err(), GuardNnError::ChannelAuth);
+        assert_eq!(device.open(&m1).unwrap(), b"first");
+        assert_eq!(device.open(&m2).unwrap(), b"second");
     }
 
     #[test]
@@ -310,7 +372,7 @@ mod tests {
         // A message sealed by the user must not open on the user side
         // (direction confusion).
         let (mut user, _) = channel_pair();
-        let wire = user.seal(b"payload");
+        let wire = user.seal(b"payload").unwrap();
         let mut user2 = user.clone();
         assert_eq!(user2.open(&wire).unwrap_err(), GuardNnError::ChannelAuth);
     }
@@ -318,7 +380,7 @@ mod tests {
     #[test]
     fn truncated_message_rejected() {
         let (mut user, mut device) = channel_pair();
-        let wire = user.seal(b"payload");
+        let wire = user.seal(b"payload").unwrap();
         assert_eq!(
             device.open(&wire[..10]).unwrap_err(),
             GuardNnError::ChannelAuth
@@ -328,9 +390,50 @@ mod tests {
     #[test]
     fn identical_plaintexts_distinct_ciphertexts() {
         let (mut user, _) = channel_pair();
-        let w1 = user.seal(b"same message");
-        let w2 = user.seal(b"same message");
+        let w1 = user.seal(b"same message").unwrap();
+        let w2 = user.seal(b"same message").unwrap();
         assert_ne!(w1[24..], w2[24..], "sequence number must randomize the pad");
+    }
+
+    #[test]
+    fn max_seq_exhausts_channel_instead_of_wrapping() {
+        // At send_seq == u64::MAX sealing must refuse: emitting seq MAX
+        // would leave the receiver's successor computation to overflow and
+        // restart the sequence space under the same key.
+        let (mut user, mut device) = channel_pair();
+        user.send_seq = u64::MAX - 1;
+        device.recv_seq = u64::MAX - 1;
+        let last = user.seal(b"last good message").unwrap();
+        assert_eq!(device.open(&last).unwrap(), b"last good message");
+        assert_eq!(device.recv_seq, u64::MAX);
+        assert_eq!(
+            user.seal(b"one too many").unwrap_err(),
+            GuardNnError::CounterExhausted {
+                counter: "send_seq"
+            }
+        );
+    }
+
+    #[test]
+    fn forged_max_seq_rejected_without_overflow() {
+        // Even a receiver parked at recv_seq == MAX (only reachable by a
+        // peer that bypassed the seal guard) must not wrap recv_seq.
+        let (mut user, mut device) = channel_pair();
+        user.send_seq = u64::MAX;
+        device.recv_seq = u64::MAX;
+        // Bypass the seal guard the way a buggy peer would.
+        let seq = u64::MAX;
+        let mut ct = b"forged".to_vec();
+        user.enc.apply_range(
+            0,
+            SecureChannel::direction_bit(ChannelEnd::User) | seq,
+            &mut ct,
+        );
+        let mut wire = seq.to_be_bytes().to_vec();
+        wire.extend_from_slice(&user.tag(ChannelEnd::User, seq, &ct));
+        wire.extend_from_slice(&ct);
+        assert_eq!(device.open(&wire).unwrap_err(), GuardNnError::ChannelAuth);
+        assert_eq!(device.recv_seq, u64::MAX, "recv_seq must not wrap");
     }
 }
 

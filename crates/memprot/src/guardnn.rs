@@ -117,8 +117,12 @@ impl ProtectionEngine for GuardNnEngine {
 
     fn on_pass_begin(&mut self) {
         // One Forward-class instruction per pass: the feature-write counter
-        // advances so every pass writes features under a fresh VN.
-        self.counters.next_feature_write();
+        // advances so every pass writes features under a fresh VN. No plan
+        // produces 2³² passes per input, so exhaustion here is a harness
+        // bug, not a reachable protocol state.
+        self.counters
+            .next_feature_write()
+            .expect("simulation exceeded 2^32 passes per input");
     }
 
     fn on_access(&mut self, block_addr: u64, write: bool, stream: StreamClass) -> Vec<MetaAccess> {

@@ -8,8 +8,30 @@
 //! use `CTR_W` (incremented by `SetWeight` / training updates). For *reads*
 //! the untrusted host supplies `CTR_F,R` per address range via `SetReadCTR`;
 //! a wrong value only garbles decryption, never leaks plaintext.
+//!
+//! All three counters are **checked**: a bump that would wrap returns
+//! [`CounterExhausted`] instead of silently reusing a VN — reusing an
+//! (address, VN) pair under the same key is exactly the replay/two-time-pad
+//! hole the scheme exists to close, so the session must be re-keyed
+//! (`InitSession`) before 2³² bumps of any one counter.
 
 use std::collections::BTreeMap;
+
+/// A version counter reached its maximum: one more bump would wrap and
+/// reuse a VN under the live session key. The session must be re-keyed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterExhausted {
+    /// Which counter saturated (`"CTR_IN"`, `"CTR_F,W"`, or `"CTR_W"`).
+    pub counter: &'static str,
+}
+
+impl std::fmt::Display for CounterExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} exhausted: session must be re-keyed", self.counter)
+    }
+}
+
+impl std::error::Error for CounterExhausted {}
 
 /// The on-chip counters and the VN construction rules.
 #[derive(Clone, Debug, Default)]
@@ -31,49 +53,72 @@ impl VersionCounters {
         Self::default()
     }
 
+    /// Counter file starting at the given raw values — ONLY for tests and
+    /// experiments that need to reach the exhaustion boundary without 2³²
+    /// bumps. (The read-counter table starts empty.)
+    ///
+    /// **Warning:** this bypasses the checked-bump invariant. Installing a
+    /// rolled-back counter file on a live session reuses (address, VN)
+    /// pairs under the live key — precisely the two-time-pad/replay hole
+    /// the checked bumps close. Hidden from docs so it cannot be mistaken
+    /// for protocol API.
+    #[doc(hidden)]
+    pub fn with_raw(ctr_in: u32, ctr_fw: u32, ctr_w: u32) -> Self {
+        Self {
+            ctr_in,
+            ctr_fw,
+            ctr_w,
+            read_ctrs: BTreeMap::new(),
+        }
+    }
+
     /// `SetInput`: bump the input counter and reset the feature-write
     /// counter.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `CTR_IN` would wrap (see
-    /// [`VersionCounters::next_feature_write`]).
-    pub fn next_input(&mut self) {
+    /// [`CounterExhausted`] if `CTR_IN` would wrap (see
+    /// [`VersionCounters::next_feature_write`]). The counter is left
+    /// unchanged; the session must be re-keyed.
+    pub fn next_input(&mut self) -> Result<(), CounterExhausted> {
         self.ctr_in = self
             .ctr_in
             .checked_add(1)
-            .expect("CTR_IN exhausted: session must be re-keyed");
+            .ok_or(CounterExhausted { counter: "CTR_IN" })?;
         self.ctr_fw = 0;
+        Ok(())
     }
 
     /// Advance the feature-write counter after a compute pass that wrote
     /// features.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the counter would wrap — reusing a (address, VN) pair
-    /// under the same key breaks CTR-mode confidentiality, so the session
-    /// must be re-keyed (`InitSession`) before 2³² passes per input. The
-    /// same guard applies to [`VersionCounters::next_input`] and
-    /// [`VersionCounters::next_weight`].
-    pub fn next_feature_write(&mut self) {
+    /// [`CounterExhausted`] if the counter would wrap — reusing an
+    /// (address, VN) pair under the same key breaks CTR-mode
+    /// confidentiality, so the session must be re-keyed (`InitSession`)
+    /// before 2³² passes per input. The same guard applies to
+    /// [`VersionCounters::next_input`] and [`VersionCounters::next_weight`].
+    pub fn next_feature_write(&mut self) -> Result<(), CounterExhausted> {
         self.ctr_fw = self
             .ctr_fw
             .checked_add(1)
-            .expect("CTR_F,W exhausted: session must be re-keyed");
+            .ok_or(CounterExhausted { counter: "CTR_F,W" })?;
+        Ok(())
     }
 
     /// `SetWeight` or a weight update: bump the weight counter.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `CTR_W` would wrap (see
+    /// [`CounterExhausted`] if `CTR_W` would wrap (see
     /// [`VersionCounters::next_feature_write`]).
-    pub fn next_weight(&mut self) {
+    pub fn next_weight(&mut self) -> Result<(), CounterExhausted> {
         self.ctr_w = self
             .ctr_w
             .checked_add(1)
-            .expect("CTR_W exhausted: session must be re-keyed");
+            .ok_or(CounterExhausted { counter: "CTR_W" })?;
+        Ok(())
     }
 
     /// VN used to *write* features right now: `CTR_IN ‖ CTR_F,W`.
@@ -94,6 +139,14 @@ impl VersionCounters {
         self.read_ctrs.insert(start, (end, vn));
     }
 
+    /// Drops every host-declared read counter. The read-range table models
+    /// a *shared* hardware structure: when the device switches to another
+    /// session's context the table does not survive, and the host must
+    /// replay `SetReadCTR` to resume (checkpointing).
+    pub fn clear_read_ctrs(&mut self) {
+        self.read_ctrs.clear();
+    }
+
     /// VN for reading a feature address, if the host declared one.
     pub fn feature_read_vn(&self, addr: u64) -> Option<u64> {
         let (&start, &(end, vn)) = self.read_ctrs.range(..=addr).next_back()?;
@@ -103,16 +156,6 @@ impl VersionCounters {
     /// Current raw counter values `(CTR_IN, CTR_F,W, CTR_W)`.
     pub fn raw(&self) -> (u32, u32, u32) {
         (self.ctr_in, self.ctr_fw, self.ctr_w)
-    }
-
-    /// Test-only constructor starting at a given `CTR_F,W` value (used to
-    /// reach the exhaustion boundary without 2³² calls).
-    #[cfg(test)]
-    fn at_feature_count(ctr_fw: u32) -> Self {
-        Self {
-            ctr_fw,
-            ..Self::default()
-        }
     }
 }
 
@@ -125,10 +168,10 @@ mod tests {
         let mut vc = VersionCounters::new();
         let mut seen = std::collections::HashSet::new();
         for _input in 0..4 {
-            vc.next_input();
+            vc.next_input().expect("far from exhaustion");
             for _pass in 0..10 {
                 assert!(seen.insert(vc.feature_write_vn()), "VN reuse");
-                vc.next_feature_write();
+                vc.next_feature_write().expect("far from exhaustion");
             }
         }
     }
@@ -136,11 +179,11 @@ mod tests {
     #[test]
     fn new_input_resets_feature_counter() {
         let mut vc = VersionCounters::new();
-        vc.next_input();
-        vc.next_feature_write();
-        vc.next_feature_write();
+        vc.next_input().expect("bump");
+        vc.next_feature_write().expect("bump");
+        vc.next_feature_write().expect("bump");
         let before = vc.feature_write_vn();
-        vc.next_input();
+        vc.next_input().expect("bump");
         let after = vc.feature_write_vn();
         assert_ne!(before, after);
         assert_eq!(after & 0xFFFF_FFFF, 0, "CTR_F,W reset to zero");
@@ -149,16 +192,16 @@ mod tests {
     #[test]
     fn weight_vn_constant_until_set_weight() {
         let mut vc = VersionCounters::new();
-        vc.next_weight();
+        vc.next_weight().expect("bump");
         let vn = vc.weight_vn();
-        vc.next_input();
-        vc.next_feature_write();
+        vc.next_input().expect("bump");
+        vc.next_feature_write().expect("bump");
         assert_eq!(
             vc.weight_vn(),
             vn,
             "feature activity must not disturb weight VN"
         );
-        vc.next_weight();
+        vc.next_weight().expect("bump");
         assert_ne!(vc.weight_vn(), vn);
     }
 
@@ -175,6 +218,14 @@ mod tests {
     }
 
     #[test]
+    fn clear_read_ctrs_forgets_ranges() {
+        let mut vc = VersionCounters::new();
+        vc.set_read_ctr(0x1000, 0x2000, 7);
+        vc.clear_read_ctrs();
+        assert_eq!(vc.feature_read_vn(0x1000), None);
+    }
+
+    #[test]
     #[should_panic(expected = "empty SetReadCTR range")]
     fn rejects_empty_range() {
         let mut vc = VersionCounters::new();
@@ -182,16 +233,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "CTR_F,W exhausted")]
-    fn feature_counter_exhaustion_detected() {
-        let mut vc = VersionCounters::at_feature_count(u32::MAX);
-        vc.next_feature_write();
+    fn feature_counter_exhaustion_is_an_error_not_a_wrap() {
+        let mut vc = VersionCounters::with_raw(0, u32::MAX, 0);
+        let before = vc.feature_write_vn();
+        assert_eq!(
+            vc.next_feature_write(),
+            Err(CounterExhausted { counter: "CTR_F,W" })
+        );
+        assert_eq!(vc.feature_write_vn(), before, "failed bump must not move");
+    }
+
+    #[test]
+    fn input_and_weight_counter_exhaustion_detected() {
+        let mut vc = VersionCounters::with_raw(u32::MAX, 3, u32::MAX);
+        assert_eq!(vc.next_input(), Err(CounterExhausted { counter: "CTR_IN" }));
+        assert_eq!(vc.raw().1, 3, "failed SetInput must not reset CTR_F,W");
+        assert_eq!(vc.next_weight(), Err(CounterExhausted { counter: "CTR_W" }));
     }
 
     #[test]
     fn feature_counter_boundary_ok() {
-        let mut vc = VersionCounters::at_feature_count(u32::MAX - 1);
-        vc.next_feature_write(); // reaches MAX without panicking
+        let mut vc = VersionCounters::with_raw(0, u32::MAX - 1, 0);
+        vc.next_feature_write().expect("reaches MAX without error");
         assert_eq!(vc.raw().1, u32::MAX);
     }
 }

@@ -59,6 +59,55 @@ fn multiple_inputs_in_one_session() {
 }
 
 #[test]
+fn device_server_batch_matches_serial_across_crates() {
+    // Integration-level pin of the batching contract: infer_batch over N
+    // inputs in one session is bit-identical to N serial infer calls and
+    // costs exactly one key exchange + one weight import.
+    use guardnn::server::DeviceServer;
+
+    let net = testnet::tiny_cnn();
+    let weights = testnet::deterministic_weights(&net, 4);
+    let inputs: Vec<Vec<i32>> = (0..4)
+        .map(|t| (0..16).map(|i| (i * (t + 3)) % 5 - 2).collect())
+        .collect();
+
+    let (device, maker_pk) = GuardNnDevice::provision(41, 83);
+    let mut server = DeviceServer::new(device);
+    let mut user = RemoteUser::new(maker_pk, 11);
+    let sid = server.connect(&mut user).expect("connect");
+    server.establish(sid, &mut user, true).expect("establish");
+    server
+        .load_model(sid, &mut user, &net, &weights)
+        .expect("load");
+    let batch = server
+        .infer_batch(sid, &mut user, &inputs)
+        .expect("batched inference");
+
+    assert_eq!(server.stats().count("INITSESSION"), 1);
+    assert_eq!(
+        server.stats().count("SETWEIGHT"),
+        weights.iter().filter(|w| !w.is_empty()).count() as u64
+    );
+
+    // Serial runs in a fresh but identically provisioned session.
+    let (device2, maker_pk2) = GuardNnDevice::provision(41, 83);
+    let mut server2 = DeviceServer::new(device2);
+    let mut user2 = RemoteUser::new(maker_pk2, 11);
+    let sid2 = server2.connect(&mut user2).expect("connect");
+    server2
+        .establish(sid2, &mut user2, true)
+        .expect("establish");
+    server2
+        .load_model(sid2, &mut user2, &net, &weights)
+        .expect("load");
+    for (input, batched) in inputs.iter().zip(&batch) {
+        let serial = server2.infer(sid2, &mut user2, input).expect("serial");
+        assert_eq!(&serial, batched, "batch must be bit-identical to serial");
+        assert_eq!(batched, &testnet::reference_forward(&net, &weights, input));
+    }
+}
+
+#[test]
 fn wrong_manufacturer_rejected() {
     let (mut device, _) = fresh(4);
     // User trusts a DIFFERENT manufacturer.
@@ -87,7 +136,7 @@ fn host_cannot_reorder_weights_undetected() {
     };
     user.authenticate_device(&cert).expect("auth");
     let up = user.begin_session();
-    let Response::SessionInit { device_public } = device
+    let Response::SessionInit { device_public, .. } = device
         .execute(Instruction::InitSession {
             user_public: up,
             enable_integrity: true,
@@ -124,7 +173,7 @@ fn export_before_forward_rejected() {
     };
     user.authenticate_device(&cert).expect("auth");
     let up = user.begin_session();
-    let Response::SessionInit { device_public } = device
+    let Response::SessionInit { device_public, .. } = device
         .execute(Instruction::InitSession {
             user_public: up,
             enable_integrity: false,

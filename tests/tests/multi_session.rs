@@ -1,0 +1,134 @@
+//! Property tests for the multi-session [`DeviceServer`]: any interleaving
+//! of concurrent sessions must behave exactly like serial execution, and
+//! one session's (malicious) `SetReadCTR` must never perturb another's.
+
+use guardnn::device::GuardNnDevice;
+use guardnn::server::{DeviceServer, SessionId, StepProgress};
+use guardnn::session::RemoteUser;
+use guardnn::testnet;
+use proptest::prelude::*;
+
+/// Server + per-session users, ids, inputs, and expected outputs.
+type Fixture = (
+    DeviceServer,
+    Vec<RemoteUser>,
+    Vec<SessionId>,
+    Vec<Vec<i32>>,
+    Vec<Vec<i32>>,
+);
+
+/// Builds a server with `n` fully set-up sessions on one device, each with
+/// its own user, seeded weights, and input. Returns the per-session
+/// expected (serial/reference) outputs alongside.
+fn setup(n: usize, integrity: bool) -> Fixture {
+    let (device, maker_pk) = GuardNnDevice::provision(500 + n as u64, 900 + n as u64);
+    let mut server = DeviceServer::new(device);
+    let net = testnet::tiny_mlp();
+    let mut users = Vec::new();
+    let mut sids = Vec::new();
+    let mut inputs = Vec::new();
+    let mut expected = Vec::new();
+    for i in 0..n {
+        let mut user = RemoteUser::new(maker_pk.clone(), 7000 + i as u64);
+        let weights = testnet::tiny_mlp_weights(10 + i as i32);
+        let input: Vec<i32> = (0..8).map(|k| (k + 1) * (i as i32 + 1) - 9).collect();
+        let sid = server.connect(&mut user).expect("connect");
+        server
+            .establish(sid, &mut user, integrity)
+            .expect("establish");
+        server
+            .load_model(sid, &mut user, &net, &weights)
+            .expect("load");
+        expected.push(testnet::tiny_mlp_reference(&weights, &input));
+        users.push(user);
+        sids.push(sid);
+        inputs.push(input);
+    }
+    (server, users, sids, inputs, expected)
+}
+
+/// Drives the schedule (indices into `sids`, modulo the session count),
+/// then round-robins every unfinished session to completion.
+fn run_schedule(server: &mut DeviceServer, sids: &[SessionId], schedule: &[usize]) {
+    let mut done = vec![false; sids.len()];
+    for &pick in schedule {
+        let i = pick % sids.len();
+        if !done[i] {
+            done[i] = server.step(sids[i]).expect("step") == StepProgress::Finished;
+        }
+    }
+    while done.iter().any(|d| !d) {
+        for (i, sid) in sids.iter().enumerate() {
+            if !done[i] {
+                done[i] = server.step(*sid).expect("step") == StepProgress::Finished;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any interleaving of 2–4 concurrent sessions produces, for every
+    /// session, exactly the output serial execution produces.
+    #[test]
+    fn arbitrary_interleavings_match_serial(
+        n in 2usize..5,
+        schedule in proptest::collection::vec(0usize..4, 0..80),
+        integrity in any::<bool>(),
+    ) {
+        let (mut server, mut users, sids, inputs, expected) = setup(n, integrity);
+        for i in 0..n {
+            server
+                .begin_infer(sids[i], &mut users[i], &inputs[i])
+                .expect("begin");
+        }
+        run_schedule(&mut server, &sids, &schedule);
+        for i in 0..n {
+            let out = server
+                .take_output(sids[i], &mut users[i])
+                .expect("take")
+                .expect("finished");
+            prop_assert_eq!(&out, &expected[i]);
+        }
+    }
+
+    /// A malicious wrong `SetReadCTR` in one session garbles (only) that
+    /// session; every other session still matches serial execution, under
+    /// any interleaving.
+    #[test]
+    fn wrong_read_ctr_does_not_cross_sessions(
+        n in 2usize..5,
+        schedule in proptest::collection::vec(0usize..4, 0..80),
+        victim_pick in 0usize..4,
+        bad_vn in any::<u64>(),
+    ) {
+        // No integrity: the wrong VN garbles instead of faulting, so the
+        // victim session runs to completion alongside the others.
+        let (mut server, mut users, sids, inputs, expected) = setup(n, false);
+        let victim = victim_pick % n;
+        for i in 0..n {
+            server
+                .begin_infer(sids[i], &mut users[i], &inputs[i])
+                .expect("begin");
+        }
+        // Poison the victim's input-edge read counter with an arbitrary
+        // wrong VN (the honest one for edge 0 is CTR_IN << 32 = 1 << 32).
+        prop_assume!(bad_vn != 1u64 << 32);
+        server
+            .poison_read_ctr(sids[victim], 0, bad_vn)
+            .expect("poison");
+        run_schedule(&mut server, &sids, &schedule);
+        for i in 0..n {
+            let out = server
+                .take_output(sids[i], &mut users[i])
+                .expect("take")
+                .expect("finished");
+            if i == victim {
+                prop_assert_ne!(&out, &expected[i]);
+            } else {
+                prop_assert_eq!(&out, &expected[i]);
+            }
+        }
+    }
+}

@@ -87,14 +87,14 @@ proptest! {
     #[test]
     fn vn_uniqueness(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
         let mut vc = VersionCounters::new();
-        vc.next_input();
+        vc.next_input().expect("far from exhaustion");
         let mut seen = std::collections::HashSet::new();
         seen.insert(vc.feature_write_vn());
         for new_input in ops {
             if new_input {
-                vc.next_input();
+                vc.next_input().expect("far from exhaustion");
             } else {
-                vc.next_feature_write();
+                vc.next_feature_write().expect("far from exhaustion");
             }
             prop_assert!(seen.insert(vc.feature_write_vn()), "VN reused");
         }
