@@ -13,9 +13,10 @@
 
 use guardnn::perf::{evaluate_batch, EvalConfig, EvalJob, Mode, Parallelism, Scheme};
 use guardnn_bench::{announce_pool, f, Table};
+use guardnn_dram::ChannelMode;
 use guardnn_memprot::baseline::MeeConfig;
 use guardnn_memprot::guardnn::{GuardNnConfig, GuardNnEngine, Protection};
-use guardnn_memprot::harness::run_protected;
+use guardnn_memprot::harness::run_protected_streaming;
 use guardnn_models::graph::ExecutionPlan;
 use guardnn_models::zoo;
 use guardnn_systolic::{simulate_gemm, ArrayConfig, Dataflow, TraceBuilder};
@@ -59,12 +60,13 @@ fn main() {
     t.print();
     println!("(GuardNN needs no metadata cache at all: its VNs are on-chip registers.)");
 
-    // 2. GuardNN MAC granularity sweep over a shared trace.
+    // 2. GuardNN MAC granularity sweep over a shared layout. Each point
+    // regenerates the (identical) trace on the fly — stream generation is
+    // pure counter math, so re-deriving it costs less than buffering it.
     println!("\nAblation 2 — GuardNN_CI MAC granularity (ResNet-50 inference)\n");
     let plan = ExecutionPlan::inference(&net);
     let array = ArrayConfig::tpu_v1();
     let tb = TraceBuilder::new(array, &plan);
-    let trace = tb.build(&plan);
     let chunks = [64u64, 128, 256, 512, 1024, 4096];
     announce_pool("MAC-granularity points", chunks.len(), parallelism);
     let summaries = parallelism.run(chunks.len(), |i| {
@@ -74,11 +76,12 @@ fn main() {
             ..Default::default()
         };
         let mut engine = GuardNnEngine::new(tb.footprint(), cfg);
-        run_protected(
-            &trace,
+        run_protected_streaming(
+            tb.stream(&plan),
             &mut engine,
             guardnn_dram::DramConfig::ddr4_2400_16gb(),
             array.clock_mhz,
+            ChannelMode::Serial,
         )
     });
     let mut t = Table::new(vec!["MAC chunk (B)", "traffic increase %"]);

@@ -3,10 +3,18 @@
 //! TPU-v1-class simulated accelerator with 16 GB DDR4.
 //!
 //! Run with
-//! `cargo run --release -p guardnn-bench --bin fig3 -- [inference|training|both|smoke] [--json] [--serial]`
+//! `cargo run --release -p guardnn-bench --bin fig3 -- [inference|training|both|smoke] [--json] [--serial] [--channel-threads]`
 //! (`--json` additionally emits one machine-readable record per run;
 //! `smoke` runs only the two smallest networks of the inference suite —
-//! the CI wall-clock canary; `--serial` disables the worker pool).
+//! the CI wall-clock canary; `--serial` disables the job-level worker
+//! pool; `--channel-threads` simulates the two DRAM channels of each
+//! point on one worker thread each — bit-identical results, useful when
+//! the job pool has cores to spare).
+//!
+//! Every point runs on the streaming pipeline (generate → protect →
+//! schedule without materializing the trace); the `trace buf` column
+//! reports the peak bytes of trace data the simulation buffered, which is
+//! a few hundred bytes regardless of network size.
 
 use guardnn::perf::{
     batched_protocol_cost, evaluate_suite, EvalConfig, Mode, Parallelism, Scheme, SIMULATED_SCHEMES,
@@ -44,7 +52,13 @@ fn protocol_amortization(title: &str, nets: &[Network], bytes_per_elem: f64) {
 
 fn run_suite(title: &str, nets: &[Network], mode: Mode, cfg: &EvalConfig, json: bool) {
     println!("\nFigure 3 — {title}: execution time normalized to no protection (NP)\n");
-    let mut table = Table::new(vec!["network", "GuardNN_C", "GuardNN_CI", "BP"]);
+    let mut table = Table::new(vec![
+        "network",
+        "GuardNN_C",
+        "GuardNN_CI",
+        "BP",
+        "trace buf (B)",
+    ]);
     let mut geo = [1.0f64; 3];
     announce_pool(
         "network evaluations",
@@ -69,10 +83,24 @@ fn run_suite(title: &str, nets: &[Network], mode: Mode, cfg: &EvalConfig, json: 
         let gc = get(Scheme::GuardNnC).normalized_to(np);
         let gci = get(Scheme::GuardNnCi).normalized_to(np);
         let bp = get(Scheme::Baseline).normalized_to(np);
+        // Peak trace buffering across this network's simulations — O(1)
+        // on the streaming pipeline, O(trace) if anything regresses to
+        // materializing.
+        let buf = results
+            .iter()
+            .map(|(_, r)| r.trace_buffer_bytes)
+            .max()
+            .unwrap_or(0);
         geo[0] *= gc;
         geo[1] *= gci;
         geo[2] *= bp;
-        table.row(vec![net.name().to_string(), f(gc, 4), f(gci, 4), f(bp, 4)]);
+        table.row(vec![
+            net.name().to_string(),
+            f(gc, 4),
+            f(gci, 4),
+            f(bp, 4),
+            buf.to_string(),
+        ]);
     }
     let n = nets.len() as f64;
     table.row(vec![
@@ -80,6 +108,7 @@ fn run_suite(title: &str, nets: &[Network], mode: Mode, cfg: &EvalConfig, json: 
         f(geo[0].powf(1.0 / n), 4),
         f(geo[1].powf(1.0 / n), 4),
         f(geo[2].powf(1.0 / n), 4),
+        "-".to_string(),
     ]);
     table.print();
 }
@@ -98,6 +127,9 @@ fn main() {
     let mut cfg = EvalConfig::default();
     if args.iter().any(|a| a == "--serial") {
         cfg.parallelism = Parallelism::Serial;
+    }
+    if args.iter().any(|a| a == "--channel-threads") {
+        cfg.channel_mode = guardnn_dram::ChannelMode::Threaded;
     }
     let arg = args
         .iter()

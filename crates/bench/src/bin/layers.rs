@@ -8,7 +8,7 @@
 use guardnn_bench::{f, Table};
 use guardnn_models::graph::ExecutionPlan;
 use guardnn_models::zoo;
-use guardnn_systolic::{simulate_gemm, ArrayConfig, TraceBuilder};
+use guardnn_systolic::{simulate_gemm, ArrayConfig, TraceBuilder, TraceItem};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -26,7 +26,15 @@ fn main() {
         ExecutionPlan::inference(&net)
     };
     let tb = TraceBuilder::new(array, &plan);
-    let trace = tb.build(&plan);
+    // Per-pass records come off the streaming generator's pass boundaries;
+    // the events themselves are never buffered.
+    let pass_perfs: Vec<_> = tb
+        .stream(&plan)
+        .filter_map(|item| match item {
+            TraceItem::PassEnd { perf, .. } => Some(perf),
+            TraceItem::Event(_) => None,
+        })
+        .collect();
 
     println!(
         "\n{} — per-pass breakdown ({}; {}×{} array, {} MB SRAM)\n",
@@ -49,7 +57,7 @@ fn main() {
         "util %",
         "DRAM (KiB)",
     ]);
-    for (i, (pass, perf)) in plan.passes().iter().zip(trace.passes().iter()).enumerate() {
+    for (i, (pass, perf)) in plan.passes().iter().zip(pass_perfs.iter()).enumerate() {
         let layer = plan.layer_of(pass);
         let (macs, util) = match plan.gemm(pass) {
             Some(g) => {
@@ -69,10 +77,12 @@ fn main() {
         ]);
     }
     t.print();
+    let total_cycles: u64 = pass_perfs.iter().map(|p| p.compute_cycles).sum();
+    let total_bytes: u64 = pass_perfs.iter().map(|p| p.dram_bytes).sum();
     println!(
         "\ntotals: {:.2} GMACs, {:.2}M compute cycles, {:.1} MiB DRAM traffic",
         net.total_macs() as f64 / 1e9,
-        trace.total_compute_cycles() as f64 / 1e6,
-        trace.total_bytes() as f64 / (1 << 20) as f64,
+        total_cycles as f64 / 1e6,
+        total_bytes as f64 / (1 << 20) as f64,
     );
 }

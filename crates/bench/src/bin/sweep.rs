@@ -48,14 +48,20 @@ fn main() {
         .collect();
     announce_pool("sweep evaluations", jobs.len(), parallelism);
     let results = evaluate_batch(parallelism, &jobs);
-    let mut t = Table::new(vec!["array", "PEs", "GuardNN_CI", "BP"]);
+    let mut t = Table::new(vec!["array", "PEs", "GuardNN_CI", "BP", "trace buf (B)"]);
     for (dim, point) in dims.iter().zip(results.chunks(POINT_SCHEMES.len())) {
         let [np, gci, bp] = point else { unreachable!() };
+        let buf = point
+            .iter()
+            .map(|r| r.trace_buffer_bytes)
+            .max()
+            .unwrap_or(0);
         t.row(vec![
             format!("{dim}x{dim}"),
             (dim * dim).to_string(),
             f(gci.normalized_to(np), 4),
             f(bp.normalized_to(np), 4),
+            buf.to_string(),
         ]);
     }
     t.print();
@@ -80,9 +86,15 @@ fn main() {
         "GuardNN_CI",
         "BP",
         "protocol ms/input (amortized)",
+        "trace buf (B)",
     ]);
     for (batch, point) in batches.iter().zip(results.chunks(POINT_SCHEMES.len())) {
         let [np, gci, bp] = point else { unreachable!() };
+        let buf = point
+            .iter()
+            .map(|r| r.trace_buffer_bytes)
+            .max()
+            .unwrap_or(0);
         // Protocol-side amortization over the same batch: one session
         // (key exchange + weight import) serves the whole mini-batch
         // (bf16 training → 2 bytes/elem on the MicroBlaze model).
@@ -92,6 +104,7 @@ fn main() {
             f(gci.normalized_to(np), 4),
             f(bp.normalized_to(np), 4),
             f(protocol.per_input_s() * 1e3, 3),
+            buf.to_string(),
         ]);
     }
     t.print();

@@ -158,6 +158,7 @@ pub fn run_summary_json(
         .field("traffic_increase", summary.traffic_increase())
         .field("exec_ns", summary.exec_ns)
         .field("dram_row_hit_rate", summary.dram.row_hit_rate())
+        .field("trace_buffer_bytes", summary.trace_buffer_bytes)
 }
 
 #[cfg(test)]

@@ -37,10 +37,10 @@
 //! assert!(results.iter().all(|(_, r)| r.exec_ns >= np.exec_ns - 1e-9));
 //! ```
 
-use guardnn_dram::DramConfig;
+use guardnn_dram::{ChannelMode, DramConfig};
 use guardnn_memprot::baseline::{BaselineMee, MeeConfig};
 use guardnn_memprot::guardnn::GuardNnEngine;
-use guardnn_memprot::harness::{run_protected, RunSummary};
+use guardnn_memprot::harness::{run_protected, run_protected_streaming, RunSummary};
 use guardnn_memprot::none::NoProtection;
 use guardnn_memprot::ProtectionEngine;
 use guardnn_models::graph::ExecutionPlan;
@@ -192,9 +192,18 @@ pub struct EvalConfig {
     pub mee: MeeConfig,
     /// Worker policy consulted by [`evaluate_all_parallel`] and
     /// [`evaluate_suite`] (defaults to one worker per CPU). A single
-    /// [`evaluate`] is always single-threaded, and [`evaluate_batch`]
-    /// takes its worker policy as an explicit argument instead.
+    /// [`evaluate`] is always single-threaded *across jobs*, and
+    /// [`evaluate_batch`] takes its worker policy as an explicit argument
+    /// instead.
     pub parallelism: Parallelism,
+    /// How one simulation drives its DRAM channels: inline
+    /// ([`ChannelMode::Serial`], the default) or one scoped worker thread
+    /// per channel ([`ChannelMode::Threaded`] — bit-identical results,
+    /// lower wall-clock when the job-level pool has cores to spare).
+    /// Defaults to the `GUARDNN_CHANNEL_MODE` environment knob, else
+    /// serial. This extends the [`Parallelism`] fan-out *across* jobs with
+    /// parallelism *inside* one job.
+    pub channel_mode: ChannelMode,
 }
 
 impl Default for EvalConfig {
@@ -204,6 +213,7 @@ impl Default for EvalConfig {
             dram: DramConfig::ddr4_2400_16gb(),
             mee: MeeConfig::default(),
             parallelism: Parallelism::from_env().unwrap_or(Parallelism::Auto),
+            channel_mode: ChannelMode::from_env().unwrap_or_default(),
         }
     }
 }
@@ -216,8 +226,20 @@ pub fn plan_for(network: &Network, mode: Mode) -> ExecutionPlan {
     }
 }
 
-/// Evaluates one network under one scheme.
-pub fn evaluate(network: &Network, mode: Mode, scheme: Scheme, cfg: &EvalConfig) -> RunSummary {
+/// The array (with mode-dependent element width), plan and engine of one
+/// evaluation point — shared by the streaming path and the materialized
+/// oracle so the two cannot diverge in setup.
+fn eval_setup(
+    network: &Network,
+    mode: Mode,
+    scheme: Scheme,
+    cfg: &EvalConfig,
+) -> (
+    ArrayConfig,
+    ExecutionPlan,
+    TraceBuilder,
+    Box<dyn ProtectionEngine>,
+) {
     let mut array = cfg.array;
     array.bytes_per_elem = match mode {
         Mode::Inference => 1,
@@ -225,14 +247,45 @@ pub fn evaluate(network: &Network, mode: Mode, scheme: Scheme, cfg: &EvalConfig)
     };
     let plan = plan_for(network, mode);
     let tb = TraceBuilder::new(array, &plan);
-    let trace = tb.build(&plan);
     let footprint = tb.footprint();
-    let mut engine: Box<dyn ProtectionEngine> = match scheme {
+    let engine: Box<dyn ProtectionEngine> = match scheme {
         Scheme::NoProtection => Box::new(NoProtection::new()),
         Scheme::Baseline => Box::new(BaselineMee::new(footprint, cfg.mee)),
         Scheme::GuardNnC => Box::new(GuardNnEngine::confidentiality_only(footprint)),
         Scheme::GuardNnCi => Box::new(GuardNnEngine::confidentiality_and_integrity(footprint)),
     };
+    (array, plan, tb, engine)
+}
+
+/// Evaluates one network under one scheme on the streaming pipeline: the
+/// trace is generated on the fly, protected in-stream, and scheduled by
+/// the DDR4 model without ever being materialized (peak trace memory is
+/// O(1); `cfg.channel_mode` optionally simulates the DRAM channels on one
+/// worker thread each).
+pub fn evaluate(network: &Network, mode: Mode, scheme: Scheme, cfg: &EvalConfig) -> RunSummary {
+    let (array, plan, tb, mut engine) = eval_setup(network, mode, scheme, cfg);
+    run_protected_streaming(
+        tb.stream(&plan),
+        engine.as_mut(),
+        cfg.dram,
+        array.clock_mhz,
+        cfg.channel_mode,
+    )
+}
+
+/// The materialized differential oracle for [`evaluate`]: builds the full
+/// [`guardnn_systolic::PlanTrace`] first, then drives the slice-based
+/// harness. Bit-identical to the streaming path (pinned by the
+/// differential tests) at O(trace) peak memory — kept for exactly that
+/// cross-check, not for production use.
+pub fn evaluate_materialized(
+    network: &Network,
+    mode: Mode,
+    scheme: Scheme,
+    cfg: &EvalConfig,
+) -> RunSummary {
+    let (array, plan, tb, mut engine) = eval_setup(network, mode, scheme, cfg);
+    let trace = tb.build(&plan);
     run_protected(&trace, engine.as_mut(), cfg.dram, array.clock_mhz)
 }
 
@@ -476,6 +529,40 @@ mod tests {
             && a.dram == b.dram
             && a.compute_cycles == b.compute_cycles
             && a.exec_ns.to_bits() == b.exec_ns.to_bits()
+    }
+
+    #[test]
+    fn streaming_evaluate_matches_materialized_oracle() {
+        // The production path never materializes the trace; the oracle
+        // does. Every (mode, scheme, channel-mode) point must agree bit
+        // for bit.
+        let net = small_net();
+        let base = EvalConfig::default();
+        for mode in [Mode::Inference, Mode::Training { batch: 2 }] {
+            for scheme in Scheme::all() {
+                let materialized = evaluate_materialized(&net, mode, scheme, &base);
+                for channel_mode in [ChannelMode::Serial, ChannelMode::Threaded] {
+                    let cfg = EvalConfig {
+                        channel_mode,
+                        ..base
+                    };
+                    let streamed = evaluate(&net, mode, scheme, &cfg);
+                    assert!(
+                        summaries_bit_identical(&materialized, &streamed),
+                        "{mode:?}/{scheme:?}/{channel_mode:?}: {materialized:?} != {streamed:?}"
+                    );
+                    // Tiny test net, so only a sanity bound here; the
+                    // ≥10× drop on the big networks is pinned by the
+                    // differential suite.
+                    assert!(
+                        streamed.trace_buffer_bytes < materialized.trace_buffer_bytes,
+                        "streaming must not buffer the trace: {} vs {}",
+                        streamed.trace_buffer_bytes,
+                        materialized.trace_buffer_bytes
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -153,6 +153,24 @@ struct HostSession {
     /// Feature-edge VNs of the most recently completed forward pass
     /// (training reads the stashed activations with them).
     last_edge_vns: Vec<u64>,
+    /// Logical timestamp of the last instruction this session drove on
+    /// the device — the LRU key for idle-session eviction.
+    last_active: u64,
+}
+
+impl HostSession {
+    /// Whether the session can be evicted to free its on-device slot:
+    /// it holds a device session but has no queued work, no un-taken
+    /// outputs, and is not mid-inference/mid-training.
+    fn is_idle(&self) -> bool {
+        self.device_sid.is_some()
+            && self.jobs.is_empty()
+            && self.outputs.is_empty()
+            && matches!(
+                self.state,
+                SessionState::Established | SessionState::ModelLoaded
+            )
+    }
 }
 
 impl HostSession {
@@ -181,6 +199,9 @@ pub struct DeviceServer {
     /// Which server session currently holds the device's hardware context.
     active: Option<u64>,
     stats: InstructionStats,
+    /// Logical clock for last-stepped bookkeeping (bumps whenever a
+    /// session drives the device).
+    clock: u64,
 }
 
 impl std::fmt::Debug for DeviceServer {
@@ -201,6 +222,7 @@ impl DeviceServer {
             next_id: 1,
             active: None,
             stats: InstructionStats::default(),
+            clock: 0,
         }
     }
 
@@ -259,10 +281,21 @@ impl DeviceServer {
             .ok_or(GuardNnError::UnknownSession { session: session.0 })
     }
 
+    /// Stamps `session` as the most recently stepped (the LRU key idle
+    /// eviction consults).
+    fn touch(&mut self, session: SessionId) {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(entry) = self.sessions.get_mut(&session.0) {
+            entry.last_active = clock;
+        }
+    }
+
     /// Makes `session` the device's active hardware context, replaying its
     /// checkpointed `SetReadCTR` ranges if the context was switched away
     /// (resume-after-preemption).
     fn ensure_active(&mut self, session: SessionId) -> Result<(), GuardNnError> {
+        self.touch(session);
         if self.active == Some(session.0) {
             return Ok(());
         }
@@ -306,17 +339,66 @@ impl DeviceServer {
                 jobs: VecDeque::new(),
                 outputs: VecDeque::new(),
                 last_edge_vns: Vec::new(),
+                last_active: 0,
             },
         );
         Ok(SessionId(id))
     }
 
-    /// Runs the key exchange for a provisioned session:
-    /// [`SessionState::Provisioned`] → [`SessionState::Established`].
+    /// Frees one on-device slot by evicting the least-recently-stepped
+    /// *idle* session (no queued jobs, no un-taken outputs, not
+    /// mid-inference or mid-training): its device session is closed and
+    /// the host entry drops back to [`SessionState::Provisioned`], from
+    /// which its user can re-establish (new key exchange, reload the
+    /// model). Sessions with work in flight are never candidates.
     ///
     /// # Errors
     ///
-    /// [`GuardNnError::InvalidState`] outside `Provisioned`; key-exchange
+    /// [`GuardNnError::InvalidState`] when every resident session is
+    /// active.
+    fn evict_lru_idle(&mut self) -> Result<(), GuardNnError> {
+        let candidate = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.is_idle())
+            .min_by_key(|(_, s)| s.last_active)
+            .map(|(id, _)| *id);
+        let Some(id) = candidate else {
+            return Err(GuardNnError::InvalidState(
+                "session table full and every session is active",
+            ));
+        };
+        let entry = self.sessions.get_mut(&id).expect("candidate exists");
+        let device_sid = entry.device_sid.take().expect("idle implies established");
+        entry.network = None;
+        entry.edge_extents.clear();
+        entry.checkpoint.clear();
+        entry.last_edge_vns.clear();
+        entry.counters = HostCounterMirror::default();
+        entry.state = SessionState::Provisioned;
+        self.exec(Instruction::CloseSession {
+            session: device_sid,
+        })?;
+        if self.active == Some(id) {
+            self.active = None;
+        }
+        Ok(())
+    }
+
+    /// Runs the key exchange for a provisioned session:
+    /// [`SessionState::Provisioned`] → [`SessionState::Established`].
+    ///
+    /// When the device's [`crate::device::MAX_SESSIONS`]-entry on-chip
+    /// table is full, the server first evicts the least-recently-stepped
+    /// *idle* session (closing its device session and dropping it back to
+    /// `Provisioned` for a later re-establish) instead of letting
+    /// `InitSession` fail. A session with queued jobs, un-taken outputs,
+    /// or a training step in flight is never evicted.
+    ///
+    /// # Errors
+    ///
+    /// [`GuardNnError::InvalidState`] outside `Provisioned`, or when the
+    /// table is full and every resident session is active; key-exchange
     /// failures propagate.
     pub fn establish(
         &mut self,
@@ -327,6 +409,9 @@ impl DeviceServer {
         let entry = self.session_mut(session)?;
         if entry.state != SessionState::Provisioned {
             return Err(GuardNnError::InvalidState("establish needs Provisioned"));
+        }
+        if self.device.session_count() >= crate::device::MAX_SESSIONS {
+            self.evict_lru_idle()?;
         }
         let device = &mut self.device;
         let stats = &mut self.stats;
@@ -343,6 +428,7 @@ impl DeviceServer {
                 entry.device_sid = Some(device_sid);
                 entry.counters = HostCounterMirror::default();
                 entry.state = SessionState::Established;
+                self.touch(session);
                 Ok(())
             }
             Err(e) => {
@@ -1226,6 +1312,128 @@ mod tests {
         let out = server.infer(sid, &mut users[0], &probe).expect("probe");
         let updated = testnet::reference_train_step(&net, &weights, &input, &d_out, 0);
         assert_eq!(out, testnet::reference_forward(&net, &updated, &probe));
+    }
+
+    #[test]
+    fn full_table_evicts_lru_idle_session_and_slot_is_reusable() {
+        use crate::device::MAX_SESSIONS;
+        let (mut server, mut users) = server_with_users(MAX_SESSIONS + 1);
+        let mut sids = Vec::new();
+        for user in users.iter_mut().take(MAX_SESSIONS) {
+            let sid = server.connect(user).expect("connect");
+            server.establish(sid, user, false).expect("establish");
+            sids.push(sid);
+        }
+        assert_eq!(server.device().session_count(), MAX_SESSIONS);
+
+        // The 65th establish evicts the least-recently-stepped idle
+        // session — the first one — instead of failing.
+        let (head, tail) = users.split_at_mut(MAX_SESSIONS);
+        let newcomer = &mut tail[0];
+        let sid_new = server.connect(newcomer).expect("connect");
+        server
+            .establish(sid_new, newcomer, false)
+            .expect("establish evicts an idle session");
+        assert_eq!(server.device().session_count(), MAX_SESSIONS);
+        assert_eq!(
+            server.session_state(sids[0]),
+            Some(SessionState::Provisioned),
+            "oldest idle session dropped back to Provisioned"
+        );
+        assert_eq!(
+            server.session_state(sids[1]),
+            Some(SessionState::Established),
+            "younger sessions untouched"
+        );
+
+        // The evicted slot is reusable: its user re-establishes (a fresh
+        // key exchange), evicting the next-oldest idle session, and the
+        // session serves inference again end to end.
+        let user0 = &mut head[0];
+        server
+            .establish(sids[0], user0, false)
+            .expect("evicted session re-establishes");
+        assert_eq!(server.device().session_count(), MAX_SESSIONS);
+        assert_eq!(
+            server.session_state(sids[1]),
+            Some(SessionState::Provisioned),
+            "next-oldest idle session evicted in turn"
+        );
+        let net = testnet::tiny_mlp();
+        let weights = testnet::tiny_mlp_weights(3);
+        server
+            .load_model(sids[0], user0, &net, &weights)
+            .expect("reload model");
+        let input = vec![1, -2, 3, -4, 5, -6, 7, -8];
+        let out = server.infer(sids[0], user0, &input).expect("infer");
+        assert_eq!(out, testnet::tiny_mlp_reference(&weights, &input));
+    }
+
+    #[test]
+    fn active_sessions_are_never_evicted() {
+        use crate::device::MAX_SESSIONS;
+        let net = testnet::tiny_mlp();
+        let weights = testnet::tiny_mlp_weights(4);
+        let (mut server, mut users) = server_with_users(MAX_SESSIONS + 1);
+        let mut sids = Vec::new();
+        for user in users.iter_mut().take(MAX_SESSIONS) {
+            let sid = full_setup(&mut server, user, &net, &weights, false);
+            sids.push(sid);
+        }
+        // The OLDEST session queues a job: despite being LRU it must
+        // survive eviction; the second-oldest (idle) goes instead.
+        let input = vec![2, 4, 6, 8, -2, -4, -6, -8];
+        server
+            .begin_infer(sids[0], &mut users[0], &input)
+            .expect("queue job");
+        let (head, tail) = users.split_at_mut(MAX_SESSIONS);
+        let newcomer = &mut tail[0];
+        let sid_new = server.connect(newcomer).expect("connect");
+        server
+            .establish(sid_new, newcomer, false)
+            .expect("establish evicts an idle session");
+        assert_eq!(
+            server.session_state(sids[0]),
+            Some(SessionState::Inferring),
+            "busy LRU session must not be evicted"
+        );
+        assert_eq!(
+            server.session_state(sids[1]),
+            Some(SessionState::Provisioned),
+            "idle second-oldest evicted instead"
+        );
+        // The busy session's job completes correctly after the shuffle.
+        while server.step(sids[0]).expect("step") != StepProgress::Finished {}
+        let out = server
+            .take_output(sids[0], &mut head[0])
+            .expect("take")
+            .expect("finished");
+        assert_eq!(out, testnet::tiny_mlp_reference(&weights, &input));
+    }
+
+    #[test]
+    fn all_sessions_active_refuses_new_establish() {
+        use crate::device::MAX_SESSIONS;
+        let net = testnet::tiny_mlp();
+        let weights = testnet::tiny_mlp_weights(2);
+        let (mut server, mut users) = server_with_users(MAX_SESSIONS + 1);
+        let input = vec![1; 8];
+        for user in users.iter_mut().take(MAX_SESSIONS) {
+            let sid = full_setup(&mut server, user, &net, &weights, false);
+            server.begin_infer(sid, user, &input).expect("queue job");
+        }
+        let (_, tail) = users.split_at_mut(MAX_SESSIONS);
+        let newcomer = &mut tail[0];
+        let sid_new = server.connect(newcomer).expect("connect");
+        assert_eq!(
+            server.establish(sid_new, newcomer, false).unwrap_err(),
+            GuardNnError::InvalidState("session table full and every session is active")
+        );
+        // The refused session stays Provisioned for a later retry.
+        assert_eq!(
+            server.session_state(sid_new),
+            Some(SessionState::Provisioned)
+        );
     }
 
     #[test]

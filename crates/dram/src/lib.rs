@@ -14,6 +14,8 @@
 //! * [`bank`] — per-bank state machine.
 //! * [`channel`] — per-channel command scheduling with FR-FCFS window.
 //! * [`system`] — multi-channel front end with address mapping.
+//! * [`parallel`] — one-worker-per-channel threaded front end
+//!   (bit-identical statistics, lower wall-clock).
 //! * [`stats`] — counters.
 //!
 //! # Example
@@ -32,9 +34,11 @@
 pub mod bank;
 pub mod channel;
 pub mod config;
+pub mod parallel;
 pub mod stats;
 pub mod system;
 
 pub use config::DramConfig;
+pub use parallel::{with_channel_workers, ChannelMode, ParallelDram};
 pub use stats::DramStats;
-pub use system::DramSystem;
+pub use system::{DramSink, DramSystem};

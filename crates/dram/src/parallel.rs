@@ -1,0 +1,206 @@
+//! Per-channel parallel simulation front end.
+//!
+//! The channels of a DDR4 system share nothing once an address is decoded:
+//! each has its own scheduler queues, banks, and data bus, and the merged
+//! statistics are per-channel sums (plus a max over cycle counts). The
+//! per-channel command scheduling is where a simulation spends its time,
+//! so [`with_channel_workers`] runs one [`Channel`] per worker thread
+//! (`std::thread::scope`), fed by bounded demux queues from the decoding
+//! thread. The request sequence each channel sees — and therefore every
+//! statistic — is bit-identical to the serial [`DramSystem`] path; only
+//! wall-clock time changes.
+//!
+//! Queues are bounded (8 batches of 1024 requests per channel), so a
+//! fast producer cannot buffer an unbounded trace: the streaming
+//! pipeline's O(1)-memory guarantee survives the handoff.
+
+use crate::channel::{Channel, Request};
+use crate::config::DramConfig;
+use crate::stats::DramStats;
+use crate::system::{DramSink, DramSystem};
+use std::sync::mpsc;
+
+/// Requests per demux batch (one queue send per batch amortizes the
+/// synchronization; a batch is ~24 KiB).
+const BATCH: usize = 1024;
+
+/// Batches in flight per channel before the producer blocks.
+const QUEUE_DEPTH: usize = 8;
+
+/// How a simulation drives its DRAM channels.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ChannelMode {
+    /// All channels stepped inline on the calling thread.
+    #[default]
+    Serial,
+    /// One worker thread per channel behind bounded demux queues
+    /// (bit-identical statistics, lower wall-clock on multi-core).
+    Threaded,
+}
+
+impl ChannelMode {
+    /// Reads the `GUARDNN_CHANNEL_MODE` environment knob (`"serial"` or
+    /// `"threaded"`). `None` when unset or unparseable.
+    pub fn from_env() -> Option<ChannelMode> {
+        Self::parse(&std::env::var("GUARDNN_CHANNEL_MODE").ok()?)
+    }
+
+    /// Parses a `GUARDNN_CHANNEL_MODE` value.
+    pub fn parse(raw: &str) -> Option<ChannelMode> {
+        match raw.trim() {
+            "serial" => Some(ChannelMode::Serial),
+            "threaded" => Some(ChannelMode::Threaded),
+            _ => None,
+        }
+    }
+}
+
+enum Cmd {
+    Batch(Vec<Request>),
+    Drain,
+}
+
+/// Demuxing front end over per-channel worker threads. Implements
+/// [`DramSink`], so simulation drivers are generic over serial vs
+/// threaded ingestion. Created by [`with_channel_workers`].
+pub struct ParallelDram {
+    /// Serial system used purely as the address decoder (its inline
+    /// channels are never pushed to).
+    decoder: DramSystem,
+    buffers: Vec<Vec<Request>>,
+    txs: Vec<mpsc::SyncSender<Cmd>>,
+    stat_rxs: Vec<mpsc::Receiver<DramStats>>,
+}
+
+impl ParallelDram {
+    fn flush(&mut self, channel: usize) {
+        if self.buffers[channel].is_empty() {
+            return;
+        }
+        let batch = std::mem::replace(&mut self.buffers[channel], Vec::with_capacity(BATCH));
+        self.txs[channel]
+            .send(Cmd::Batch(batch))
+            .expect("channel worker alive");
+    }
+}
+
+impl DramSink for ParallelDram {
+    fn access(&mut self, addr: u64, is_write: bool) {
+        let (channel, req) = self.decoder.route(addr, is_write);
+        self.buffers[channel].push(req);
+        if self.buffers[channel].len() >= BATCH {
+            self.flush(channel);
+        }
+    }
+
+    fn drain_stats(&mut self) -> DramStats {
+        for channel in 0..self.txs.len() {
+            self.flush(channel);
+            self.txs[channel]
+                .send(Cmd::Drain)
+                .expect("channel worker alive");
+        }
+        let mut merged = DramStats::default();
+        for rx in &self.stat_rxs {
+            merged.merge(&rx.recv().expect("channel worker alive"));
+        }
+        merged
+    }
+}
+
+/// Spawns one scoped worker per channel of `cfg`, hands the demuxing
+/// [`ParallelDram`] front end to `f`, and joins the workers when `f`
+/// returns. Statistics observed through [`DramSink::drain_stats`] are
+/// bit-identical to driving a serial [`DramSystem`] with the same access
+/// sequence and drain points.
+pub fn with_channel_workers<R>(cfg: DramConfig, f: impl FnOnce(&mut ParallelDram) -> R) -> R {
+    std::thread::scope(|scope| {
+        let mut txs = Vec::with_capacity(cfg.channels);
+        let mut stat_rxs = Vec::with_capacity(cfg.channels);
+        for _ in 0..cfg.channels {
+            let (tx, rx) = mpsc::sync_channel::<Cmd>(QUEUE_DEPTH);
+            let (stat_tx, stat_rx) = mpsc::channel::<DramStats>();
+            scope.spawn(move || {
+                let mut channel = Channel::new(cfg);
+                for cmd in rx {
+                    match cmd {
+                        Cmd::Batch(reqs) => {
+                            for req in reqs {
+                                channel.push(req);
+                            }
+                        }
+                        Cmd::Drain => stat_tx.send(channel.drain()).expect("driver alive"),
+                    }
+                }
+            });
+            txs.push(tx);
+            stat_rxs.push(stat_rx);
+        }
+        let mut front = ParallelDram {
+            decoder: DramSystem::new(cfg),
+            buffers: (0..cfg.channels)
+                .map(|_| Vec::with_capacity(BATCH))
+                .collect(),
+            txs,
+            stat_rxs,
+        };
+        f(&mut front)
+        // `front` (and its senders) drop here: workers see a closed queue,
+        // exit their loops, and the scope joins them.
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive<S: DramSink>(sink: &mut S, drains: usize) -> Vec<DramStats> {
+        // A mixed workload: streaming runs, scattered jumps, writes, with
+        // mid-run drains (the per-pass checkpoints of the harness).
+        let mut out = Vec::new();
+        let mut addr = 0u64;
+        for phase in 0..drains as u64 {
+            for i in 0..20_000u64 {
+                addr = addr.wrapping_add(64 + (i % 5) * 8192 + (i % 13) * (1 << 26));
+                sink.access(addr % (1 << 34), i.is_multiple_of(4));
+                sink.access((phase << 22) + i * 64, false);
+            }
+            out.push(sink.drain_stats());
+        }
+        out
+    }
+
+    #[test]
+    fn threaded_matches_serial_bit_for_bit() {
+        let cfg = DramConfig::ddr4_2400_16gb();
+        let serial = drive(&mut DramSystem::new(cfg), 4);
+        let threaded = with_channel_workers(cfg, |front| drive(front, 4));
+        assert_eq!(serial, threaded);
+    }
+
+    #[test]
+    fn threaded_matches_serial_single_channel() {
+        let cfg = DramConfig::test_single_channel();
+        let serial = drive(&mut DramSystem::new(cfg), 2);
+        let threaded = with_channel_workers(cfg, |front| drive(front, 2));
+        assert_eq!(serial, threaded);
+    }
+
+    #[test]
+    fn drain_on_idle_front_is_empty() {
+        let cfg = DramConfig::ddr4_2400_16gb();
+        let stats = with_channel_workers(cfg, |front| front.drain_stats());
+        assert_eq!(stats, DramStats::default());
+    }
+
+    #[test]
+    fn mode_parses() {
+        assert_eq!(ChannelMode::parse("serial"), Some(ChannelMode::Serial));
+        assert_eq!(
+            ChannelMode::parse(" threaded\n"),
+            Some(ChannelMode::Threaded)
+        );
+        assert_eq!(ChannelMode::parse("bogus"), None);
+        assert_eq!(ChannelMode::default(), ChannelMode::Serial);
+    }
+}

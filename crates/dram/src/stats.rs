@@ -25,6 +25,20 @@ impl DramStats {
         self.reads + self.writes
     }
 
+    /// Merges another channel's statistics into this one: counters sum;
+    /// total cycles is the max, because channels run in parallel. Both the
+    /// serial and the per-channel-threaded front ends merge through this,
+    /// so the two paths cannot diverge.
+    pub fn merge(&mut self, other: &DramStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.row_conflicts += other.row_conflicts;
+        self.refreshes += other.refreshes;
+        self.total_cycles = self.total_cycles.max(other.total_cycles);
+    }
+
     /// Row-hit rate over all column accesses.
     pub fn row_hit_rate(&self) -> f64 {
         let total = self.row_hits + self.row_misses + self.row_conflicts;

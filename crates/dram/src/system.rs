@@ -4,6 +4,19 @@ use crate::channel::{Channel, Request};
 use crate::config::DramConfig;
 use crate::stats::DramStats;
 
+/// A destination for decoded DRAM transactions. Implemented by the inline
+/// [`DramSystem`] and by the per-channel-threaded
+/// [`crate::parallel::ParallelDram`] front end, so simulation drivers can
+/// be generic over how channels are stepped.
+pub trait DramSink {
+    /// Enqueues one transaction of `access_bytes` at `addr`.
+    fn access(&mut self, addr: u64, is_write: bool);
+
+    /// Drains all queues and returns merged statistics so far (bank and
+    /// timing state persist — this checkpoints, it does not reset).
+    fn drain_stats(&mut self) -> DramStats;
+}
+
 /// The full DRAM system: address decoding plus one [`Channel`] per channel.
 ///
 /// Address mapping (low → high bits): channel, bank group, column, rank,
@@ -77,7 +90,7 @@ impl DramSystem {
 
     /// Enqueues one transaction of `cfg.access_bytes` at `addr`.
     pub fn access(&mut self, addr: u64, is_write: bool) {
-        let (channel, req) = self.decode(addr, is_write);
+        let (channel, req) = self.route(addr, is_write);
         self.channels[channel].push(req);
     }
 
@@ -103,19 +116,15 @@ impl DramSystem {
     pub fn drain_stats(&mut self) -> DramStats {
         let mut merged = DramStats::default();
         for ch in &mut self.channels {
-            let s = ch.drain();
-            merged.reads += s.reads;
-            merged.writes += s.writes;
-            merged.row_hits += s.row_hits;
-            merged.row_misses += s.row_misses;
-            merged.row_conflicts += s.row_conflicts;
-            merged.refreshes += s.refreshes;
-            merged.total_cycles = merged.total_cycles.max(s.total_cycles);
+            merged.merge(&ch.drain());
         }
         merged
     }
 
-    fn decode(&self, addr: u64, is_write: bool) -> (usize, Request) {
+    /// Decodes `addr` into its channel index and channel-local request —
+    /// the demux step the per-channel-threaded front end runs on the
+    /// producing thread.
+    pub(crate) fn route(&self, addr: u64, is_write: bool) -> (usize, Request) {
         let cfg = &self.cfg;
         // Bank-address hashing (XOR with low row bits): decorrelates
         // concurrently streamed regions so they do not ping-pong one bank's
@@ -171,6 +180,16 @@ impl DramSystem {
     }
 }
 
+impl DramSink for DramSystem {
+    fn access(&mut self, addr: u64, is_write: bool) {
+        DramSystem::access(self, addr, is_write);
+    }
+
+    fn drain_stats(&mut self) -> DramStats {
+        DramSystem::drain_stats(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,10 +198,10 @@ mod tests {
     fn sequential_addresses_stripe_channels() {
         let cfg = DramConfig::ddr4_2400_16gb();
         let sys = DramSystem::new(cfg);
-        let (c0, _) = sys.decode(0, false);
-        let (c1, _) = sys.decode(64, false);
+        let (c0, _) = sys.route(0, false);
+        let (c1, _) = sys.route(64, false);
         assert_ne!(c0, c1);
-        let (c2, _) = sys.decode(128, false);
+        let (c2, _) = sys.route(128, false);
         assert_eq!(c0, c2);
     }
 
@@ -204,7 +223,7 @@ mod tests {
                 // Mix dense strides with wild jumps across the 16 GB space.
                 addr = addr.wrapping_add(64 + (i % 7) * 8192 + (i % 11) * (1 << 27));
                 let a = addr % (1 << 34);
-                assert_eq!(fast.decode(a, false), slow.decode(a, false), "addr {a:#x}");
+                assert_eq!(fast.route(a, false), slow.route(a, false), "addr {a:#x}");
             }
         }
     }
@@ -216,12 +235,12 @@ mod tests {
         // With bank-group interleaving a contiguous region of
         // bank_groups × row_bytes shares row state across the four groups.
         let span = cfg.bank_groups as u64 * cfg.row_bytes;
-        let (_, r0) = sys.decode(0, false);
-        let (_, r_same) = sys.decode(4 * 64, false); // same group, next column
+        let (_, r0) = sys.route(0, false);
+        let (_, r_same) = sys.route(4 * 64, false); // same group, next column
         assert_eq!((r0.bank, r0.row), (r_same.bank, r_same.row));
-        let (_, r_other_group) = sys.decode(64, false);
+        let (_, r_other_group) = sys.route(64, false);
         assert_ne!(r0.bank_group, r_other_group.bank_group);
-        let (_, r_far) = sys.decode(span, false);
+        let (_, r_far) = sys.route(span, false);
         assert_ne!((r0.bank, r0.row), (r_far.bank, r_far.row));
     }
 

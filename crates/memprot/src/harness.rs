@@ -3,10 +3,26 @@
 //! Runs an accelerator trace through a protection engine, feeds data +
 //! metadata accesses into the DDR4 model, and produces the quantities the
 //! paper reports: memory-traffic increase and normalized execution time.
+//!
+//! Two drivers share the same accounting rules and are pinned bit-identical
+//! by differential tests:
+//!
+//! * [`run_protected`] — the materialized oracle: consumes a fully built
+//!   [`PlanTrace`] slice.
+//! * [`run_protected_streaming`] — the production path: pulls a
+//!   [`TraceSource`] (e.g. [`guardnn_systolic::TraceStream`]) through a
+//!   [`ProtectedStream`] adapter that interleaves the engine's metadata
+//!   accesses into the event stream, and ingests the result into the DDR4
+//!   model — optionally with one worker thread per DRAM channel
+//!   ([`ChannelMode::Threaded`]). Peak memory is O(1) in the trace length.
 
 use crate::{MetaAccess, ProtectionEngine, BLOCK_BYTES};
-use guardnn_dram::{DramConfig, DramStats, DramSystem};
-use guardnn_systolic::PlanTrace;
+use guardnn_dram::{
+    with_channel_workers, ChannelMode, DramConfig, DramSink, DramStats, DramSystem,
+};
+use guardnn_systolic::trace::PassPerf;
+use guardnn_systolic::{PlanTrace, TraceItem, TraceSource};
+use std::collections::VecDeque;
 
 /// Result of one protected run.
 #[derive(Clone, Debug)]
@@ -24,6 +40,10 @@ pub struct RunSummary {
     /// End-to-end execution time in nanoseconds: per-pass
     /// `max(compute, memory)` under double buffering.
     pub exec_ns: f64,
+    /// Peak bytes of trace data buffered by the driver: the whole
+    /// materialized trace for [`run_protected`], the generator's
+    /// constant-size segment buffer for [`run_protected_streaming`].
+    pub trace_buffer_bytes: u64,
 }
 
 impl RunSummary {
@@ -49,6 +69,35 @@ impl RunSummary {
 /// turnaround per line.
 const META_WRITE_BATCH: usize = 32;
 
+/// Issues the engine's metadata accesses: reads go to DRAM immediately
+/// (they gate decryption), writes are coalesced into sorted batches.
+fn issue_meta<S: DramSink>(
+    dram: &mut S,
+    metas: &[MetaAccess],
+    meta_bytes: &mut u64,
+    pending_writes: &mut Vec<u64>,
+) {
+    for m in metas {
+        *meta_bytes += BLOCK_BYTES;
+        if m.write {
+            pending_writes.push(m.addr);
+            if pending_writes.len() >= META_WRITE_BATCH {
+                drain_writes(dram, pending_writes);
+            }
+        } else {
+            dram.access(m.addr, false);
+        }
+    }
+}
+
+/// Drains the buffered metadata write-backs in address order.
+fn drain_writes<S: DramSink>(dram: &mut S, pending_writes: &mut Vec<u64>) {
+    pending_writes.sort_unstable();
+    for addr in pending_writes.drain(..) {
+        dram.access(addr, true);
+    }
+}
+
 /// Runs `trace` under `engine` against the DDR4 model `dram_cfg`, with the
 /// accelerator clocked at `accel_mhz`.
 ///
@@ -58,6 +107,10 @@ const META_WRITE_BATCH: usize = 32;
 /// the data stream at block granularity; metadata *writes* (dirty
 /// evictions) are coalesced into batches, as a write-draining memory
 /// controller would.
+///
+/// This is the materialized differential oracle for
+/// [`run_protected_streaming`], which produces bit-identical results
+/// without ever holding the trace.
 pub fn run_protected(
     trace: &PlanTrace,
     engine: &mut dyn ProtectionEngine,
@@ -74,35 +127,6 @@ pub fn run_protected(
 
     let dram_ns_per_cycle = 1e3 / dram_cfg.clock_mhz as f64;
     let accel_ns_per_cycle = 1e3 / accel_mhz as f64;
-
-    fn issue_meta(
-        dram: &mut DramSystem,
-        metas: &[MetaAccess],
-        meta_bytes: &mut u64,
-        pending_writes: &mut Vec<u64>,
-    ) {
-        for m in metas {
-            *meta_bytes += BLOCK_BYTES;
-            if m.write {
-                pending_writes.push(m.addr);
-                if pending_writes.len() >= META_WRITE_BATCH {
-                    pending_writes.sort_unstable();
-                    for addr in pending_writes.drain(..) {
-                        dram.access(addr, true);
-                    }
-                }
-            } else {
-                dram.access(m.addr, false);
-            }
-        }
-    }
-
-    fn drain_writes(dram: &mut DramSystem, pending_writes: &mut Vec<u64>) {
-        pending_writes.sort_unstable();
-        for addr in pending_writes.drain(..) {
-            dram.access(addr, true);
-        }
-    }
 
     for (pass_idx, pass_perf) in trace.passes().iter().enumerate() {
         engine.on_pass_begin();
@@ -144,6 +168,254 @@ pub fn run_protected(
         dram: merged,
         compute_cycles: trace.total_compute_cycles(),
         exec_ns,
+        trace_buffer_bytes: trace.buffer_bytes(),
+    }
+}
+
+/// One item of a protected access stream: a data block, a metadata access
+/// the engine interleaved, or a pass boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtectedItem {
+    /// A 64-byte data-block access of the accelerator.
+    Data {
+        /// Block-aligned address.
+        addr: u64,
+        /// Write (true) or read (false).
+        write: bool,
+    },
+    /// A metadata access the protection engine added.
+    Meta {
+        /// Metadata address.
+        addr: u64,
+        /// Write (true) or read (false).
+        write: bool,
+    },
+    /// All accesses of pass `pass` have been yielded.
+    PassEnd {
+        /// Index of the completed pass.
+        pass: usize,
+        /// The pass's performance record.
+        perf: PassPerf,
+    },
+}
+
+/// Iterator adapter that pulls a trace stream *through* a protection
+/// engine: every event is expanded into 64-byte block accesses, the
+/// engine's metadata accesses are interleaved behind each block (reads
+/// inline, writes coalesced into sorted 32-entry batches), pass
+/// boundaries drain the write buffer, and the engine's
+/// end-of-run [`ProtectionEngine::flush`] is appended after the source is
+/// exhausted. This is how the streaming pipeline protects a trace without
+/// ever seeing it as a slice; its output access order is bit-identical to
+/// what [`run_protected`] issues.
+pub struct ProtectedStream<'e, I> {
+    inner: I,
+    engine: &'e mut dyn ProtectionEngine,
+    /// Items ready to yield (metadata behind the current block, drained
+    /// write batches, pass boundaries). Bounded by one write batch plus a
+    /// few per-block metadata accesses — O(1).
+    queue: VecDeque<ProtectedItem>,
+    /// Remaining blocks of the event being expanded.
+    blocks: std::ops::Range<u64>,
+    write: bool,
+    stream: crate::StreamClass,
+    pending_writes: Vec<u64>,
+    /// Whether `on_pass_begin` has run for the pass in progress.
+    pass_started: bool,
+    /// Whether the end-of-run flush has been appended.
+    flushed: bool,
+}
+
+impl<'e, I: TraceSource> ProtectedStream<'e, I> {
+    /// Wraps `inner`, interleaving `engine`'s metadata accesses.
+    pub fn new(inner: I, engine: &'e mut dyn ProtectionEngine) -> Self {
+        Self {
+            inner,
+            engine,
+            queue: VecDeque::new(),
+            blocks: 0..0,
+            write: false,
+            stream: crate::StreamClass::FeatureRead,
+            pending_writes: Vec::with_capacity(META_WRITE_BATCH),
+            pass_started: false,
+            flushed: false,
+        }
+    }
+
+    /// Peak bytes of trace data the underlying source buffers.
+    pub fn source_buffer_bytes(&self) -> u64 {
+        self.inner.buffer_bytes()
+    }
+
+    fn enqueue_metas(&mut self, metas: Vec<MetaAccess>) {
+        for m in metas {
+            if m.write {
+                self.pending_writes.push(m.addr);
+                if self.pending_writes.len() >= META_WRITE_BATCH {
+                    self.drain_pending();
+                }
+            } else {
+                self.queue.push_back(ProtectedItem::Meta {
+                    addr: m.addr,
+                    write: false,
+                });
+            }
+        }
+    }
+
+    fn drain_pending(&mut self) {
+        self.pending_writes.sort_unstable();
+        for addr in self.pending_writes.drain(..) {
+            self.queue
+                .push_back(ProtectedItem::Meta { addr, write: true });
+        }
+    }
+}
+
+impl<I: TraceSource> Iterator for ProtectedStream<'_, I> {
+    type Item = ProtectedItem;
+
+    fn next(&mut self) -> Option<ProtectedItem> {
+        loop {
+            if let Some(item) = self.queue.pop_front() {
+                return Some(item);
+            }
+            if let Some(block) = self.blocks.next() {
+                let addr = block * BLOCK_BYTES;
+                let metas = self.engine.on_access(addr, self.write, self.stream);
+                self.enqueue_metas(metas);
+                return Some(ProtectedItem::Data {
+                    addr,
+                    write: self.write,
+                });
+            }
+            match self.inner.next() {
+                Some(TraceItem::Event(ev)) => {
+                    if !self.pass_started {
+                        self.engine.on_pass_begin();
+                        self.pass_started = true;
+                    }
+                    self.blocks =
+                        (ev.addr / BLOCK_BYTES)..(ev.addr + ev.bytes).div_ceil(BLOCK_BYTES);
+                    self.write = ev.write;
+                    self.stream = ev.stream.into();
+                }
+                Some(TraceItem::PassEnd { pass, perf }) => {
+                    // An empty pass still begins (engines advance per-pass
+                    // counters in `on_pass_begin`).
+                    if !self.pass_started {
+                        self.engine.on_pass_begin();
+                    }
+                    self.pass_started = false;
+                    self.drain_pending();
+                    self.queue.push_back(ProtectedItem::PassEnd { pass, perf });
+                }
+                None => {
+                    if self.flushed {
+                        return None;
+                    }
+                    self.flushed = true;
+                    let metas = self.engine.flush();
+                    self.enqueue_metas(metas);
+                    self.drain_pending();
+                }
+            }
+        }
+    }
+}
+
+/// Accumulated outcome of ingesting a protected stream into a DRAM sink.
+struct IngestOutcome {
+    data_bytes: u64,
+    meta_bytes: u64,
+    compute_cycles: u64,
+    exec_ns: f64,
+    dram: DramStats,
+}
+
+/// Feeds a protected access stream into `dram`, checkpointing DRAM time at
+/// every pass boundary (the same per-pass `max(compute, memory)` timing as
+/// [`run_protected`]).
+fn ingest<S: DramSink>(
+    protected: &mut dyn Iterator<Item = ProtectedItem>,
+    dram: &mut S,
+    dram_cfg: DramConfig,
+    accel_mhz: u64,
+) -> IngestOutcome {
+    let mut data_bytes = 0u64;
+    let mut meta_bytes = 0u64;
+    let mut compute_cycles = 0u64;
+    let mut exec_ns = 0.0f64;
+    let mut prev_cycles = 0u64;
+    let dram_ns_per_cycle = 1e3 / dram_cfg.clock_mhz as f64;
+    let accel_ns_per_cycle = 1e3 / accel_mhz as f64;
+
+    for item in protected {
+        match item {
+            ProtectedItem::Data { addr, write } => {
+                dram.access(addr, write);
+                data_bytes += BLOCK_BYTES;
+            }
+            ProtectedItem::Meta { addr, write } => {
+                dram.access(addr, write);
+                meta_bytes += BLOCK_BYTES;
+            }
+            ProtectedItem::PassEnd { perf, .. } => {
+                let stats = dram.drain_stats();
+                let mem_cycles = stats.total_cycles - prev_cycles;
+                prev_cycles = stats.total_cycles;
+                let mem_ns = mem_cycles as f64 * dram_ns_per_cycle;
+                let compute_ns = perf.compute_cycles as f64 * accel_ns_per_cycle;
+                exec_ns += mem_ns.max(compute_ns);
+                compute_cycles += perf.compute_cycles;
+            }
+        }
+    }
+    // End-of-run tail: the engine's flushed write-backs.
+    let stats = dram.drain_stats();
+    exec_ns += (stats.total_cycles - prev_cycles) as f64 * dram_ns_per_cycle;
+    IngestOutcome {
+        data_bytes,
+        meta_bytes,
+        compute_cycles,
+        exec_ns,
+        dram: stats,
+    }
+}
+
+/// Streaming counterpart of [`run_protected`]: pulls `trace` through
+/// `engine` into the DDR4 model without materializing anything — peak
+/// memory is the generator's constant-size state plus one metadata write
+/// batch. With [`ChannelMode::Threaded`] the independent DRAM channels are
+/// simulated on one scoped worker thread each, fed by bounded per-channel
+/// demux queues. Results are bit-identical to [`run_protected`] on the
+/// same trace in either mode.
+pub fn run_protected_streaming<I: TraceSource>(
+    trace: I,
+    engine: &mut dyn ProtectionEngine,
+    dram_cfg: DramConfig,
+    accel_mhz: u64,
+    channels: ChannelMode,
+) -> RunSummary {
+    let scheme = engine.name();
+    let mut protected = ProtectedStream::new(trace, engine);
+    let outcome = match channels {
+        ChannelMode::Serial => {
+            let mut dram = DramSystem::new(dram_cfg);
+            ingest(&mut protected, &mut dram, dram_cfg, accel_mhz)
+        }
+        ChannelMode::Threaded => with_channel_workers(dram_cfg, |dram| {
+            ingest(&mut protected, dram, dram_cfg, accel_mhz)
+        }),
+    };
+    RunSummary {
+        scheme,
+        data_bytes: outcome.data_bytes,
+        meta_bytes: outcome.meta_bytes,
+        dram: outcome.dram,
+        compute_cycles: outcome.compute_cycles,
+        exec_ns: outcome.exec_ns,
+        trace_buffer_bytes: protected.source_buffer_bytes(),
     }
 }
 
@@ -158,16 +430,19 @@ mod tests {
     use guardnn_models::Network;
     use guardnn_systolic::{ArrayConfig, TraceBuilder};
 
-    fn small_trace() -> guardnn_systolic::PlanTrace {
-        let net = Network::new(
+    fn small_net() -> Network {
+        Network::new(
             "small",
             vec![
                 conv("c1", 32, 8, 16, 3, 1, 1),
                 conv("c2", 32, 16, 16, 3, 1, 1),
                 fc("f1", 1, 16 * 32 * 32, 100),
             ],
-        );
-        let plan = ExecutionPlan::inference(&net);
+        )
+    }
+
+    fn small_trace() -> guardnn_systolic::PlanTrace {
+        let plan = ExecutionPlan::inference(&small_net());
         let tb = TraceBuilder::new(ArrayConfig::test_small(), &plan);
         tb.build(&plan)
     }
@@ -229,5 +504,98 @@ mod tests {
         let cfg = DramConfig::ddr4_2400_16gb();
         let np = run_protected(&trace, &mut NoProtection::new(), cfg, 700);
         assert!((np.normalized_to(&np) - 1.0).abs() < 1e-12);
+    }
+
+    /// Full-field bit-identity, including the float's exact bits.
+    fn assert_identical(a: &RunSummary, b: &RunSummary) {
+        assert_eq!(a.scheme, b.scheme);
+        assert_eq!(a.data_bytes, b.data_bytes);
+        assert_eq!(a.meta_bytes, b.meta_bytes);
+        assert_eq!(a.dram, b.dram);
+        assert_eq!(a.compute_cycles, b.compute_cycles);
+        assert_eq!(a.exec_ns.to_bits(), b.exec_ns.to_bits(), "exec_ns differs");
+    }
+
+    #[test]
+    fn streaming_matches_materialized_all_schemes() {
+        let net = small_net();
+        let cfg = DramConfig::ddr4_2400_16gb();
+        let footprint = 1u64 << 30;
+        for plan in [
+            ExecutionPlan::inference(&net),
+            ExecutionPlan::training(&net, 2),
+        ] {
+            let tb = TraceBuilder::new(ArrayConfig::test_small(), &plan);
+            let trace = tb.build(&plan);
+            type MkEngine = fn(u64) -> Box<dyn ProtectionEngine>;
+            let engines: [MkEngine; 4] = [
+                |_| Box::new(NoProtection::new()),
+                |f| Box::new(GuardNnEngine::confidentiality_only(f)),
+                |f| Box::new(GuardNnEngine::confidentiality_and_integrity(f)),
+                |f| Box::new(BaselineMee::with_defaults(f)),
+            ];
+            for mk in engines {
+                let materialized = run_protected(&trace, mk(footprint).as_mut(), cfg, 700);
+                for mode in [ChannelMode::Serial, ChannelMode::Threaded] {
+                    let streamed = run_protected_streaming(
+                        tb.stream(&plan),
+                        mk(footprint).as_mut(),
+                        cfg,
+                        700,
+                        mode,
+                    );
+                    assert_identical(&materialized, &streamed);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_buffers_less_than_materialized() {
+        let plan = ExecutionPlan::inference(&small_net());
+        let tb = TraceBuilder::new(ArrayConfig::test_small(), &plan);
+        let cfg = DramConfig::ddr4_2400_16gb();
+        let materialized = run_protected(&tb.build(&plan), &mut NoProtection::new(), cfg, 700);
+        let streamed = run_protected_streaming(
+            tb.stream(&plan),
+            &mut NoProtection::new(),
+            cfg,
+            700,
+            ChannelMode::Serial,
+        );
+        assert!(streamed.trace_buffer_bytes < 4096);
+        assert!(materialized.trace_buffer_bytes > streamed.trace_buffer_bytes);
+    }
+
+    #[test]
+    fn protected_stream_interleaves_meta_behind_data() {
+        // BP fetches metadata for every block; the adapter must yield the
+        // data access first, its metadata behind it, and a PassEnd per
+        // pass.
+        let net = Network::new("t", vec![fc("f1", 1, 64, 32)]);
+        let plan = ExecutionPlan::inference(&net);
+        let tb = TraceBuilder::new(ArrayConfig::test_small(), &plan);
+        let mut engine = BaselineMee::with_defaults(1 << 30);
+        let items: Vec<ProtectedItem> =
+            ProtectedStream::new(tb.stream(&plan), &mut engine).collect();
+        assert!(matches!(items[0], ProtectedItem::Data { .. }));
+        assert!(items
+            .iter()
+            .any(|i| matches!(i, ProtectedItem::Meta { .. })));
+        let boundaries = items
+            .iter()
+            .filter(|i| matches!(i, ProtectedItem::PassEnd { .. }))
+            .count();
+        assert_eq!(boundaries, plan.passes().len());
+        // The boundary is last (after the end-of-run flush there are only
+        // metadata write-backs).
+        let last_boundary = items
+            .iter()
+            .rposition(|i| matches!(i, ProtectedItem::PassEnd { .. }))
+            .unwrap();
+        assert!(items[last_boundary..]
+            .iter()
+            .skip(1)
+            .all(|i| matches!(i, ProtectedItem::Meta { write: true, .. })));
     }
 }

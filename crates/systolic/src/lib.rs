@@ -28,10 +28,12 @@
 
 pub mod config;
 pub mod engine;
+pub mod stream;
 pub mod trace;
 pub mod traffic;
 
 pub use config::{ArrayConfig, Dataflow};
 pub use engine::{simulate_gemm, GemmPerf};
+pub use stream::{TraceItem, TraceSource, TraceStream};
 pub use trace::{MemEvent, PlanTrace, Stream, TraceBuilder};
 pub use traffic::{gemm_traffic, GemmTraffic};

@@ -1,0 +1,351 @@
+//! Pull-based trace generation: the streaming counterpart of
+//! [`crate::trace::PlanTrace`].
+//!
+//! GuardNN's core observation is that a DNN accelerator's DRAM access
+//! pattern is *static*: it is fully determined by the execution plan and a
+//! handful of counters, so nothing ever needs to be recorded. The simulator
+//! exploits the same property. [`TraceStream`] is a resumable generator
+//! that yields the exact event sequence [`crate::TraceBuilder::build`]
+//! would materialize — one [`MemEvent`] at a time, with a
+//! [`TraceItem::PassEnd`] boundary carrying the pass's [`PassPerf`] — from
+//! O(1) state: the current pass's *segment* list (a handful of sweep /
+//! gather descriptors) plus two cursors.
+//!
+//! Downstream, the protection engines and the DDR4 model consume this
+//! stream directly (see `guardnn_memprot::harness::run_protected_streaming`),
+//! so peak simulation memory no longer scales with trace length. The
+//! materialized path stays alive as the differential oracle: collecting a
+//! [`TraceStream`] *is* [`crate::TraceBuilder::build`].
+//!
+//! # Example
+//!
+//! ```
+//! use guardnn_systolic::{ArrayConfig, TraceBuilder, TraceItem, TraceSource};
+//! use guardnn_models::graph::ExecutionPlan;
+//! use guardnn_models::{layer, Network};
+//!
+//! let net = Network::new("tiny", vec![layer::fc("f1", 1, 64, 32)]);
+//! let plan = ExecutionPlan::inference(&net);
+//! let tb = TraceBuilder::new(ArrayConfig::test_small(), &plan);
+//!
+//! // Stream the trace without materializing it...
+//! let mut stream = tb.stream(&plan);
+//! let streamed: u64 = stream
+//!     .by_ref()
+//!     .filter_map(|item| match item {
+//!         TraceItem::Event(e) => Some(e.bytes),
+//!         TraceItem::PassEnd { .. } => None,
+//!     })
+//!     .sum();
+//! // ...and the generator state stays tiny no matter the network.
+//! assert!(stream.buffer_bytes() < 4096);
+//! assert_eq!(streamed, tb.build(&plan).total_bytes());
+//! ```
+
+use crate::trace::{splitmix, MemEvent, PassPerf, Stream, TraceBuilder};
+use guardnn_models::graph::ExecutionPlan;
+
+/// One item of the streamed trace: an event, or the boundary that closes a
+/// pass (carrying the pass's performance record).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceItem {
+    /// One contiguous DRAM access range.
+    Event(MemEvent),
+    /// All events of pass `pass` have been yielded.
+    PassEnd {
+        /// Index of the completed pass.
+        pass: usize,
+        /// Its performance record (compute cycles, data bytes).
+        perf: PassPerf,
+    },
+}
+
+/// A compact descriptor for a run of trace events — the unit the generator
+/// expands lazily. A whole pass is a handful of these, so the streaming
+/// state is O(1) in the trace length.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Segment {
+    /// `total` bytes of traffic as repeated sweeps over
+    /// `[base, base + region_bytes)` (one event per sweep).
+    Sweeps {
+        /// Region start address.
+        base: u64,
+        /// Region length (one sweep's extent).
+        region_bytes: u64,
+        /// Total bytes to emit across sweeps.
+        total: u64,
+        /// Write (true) or read (false).
+        write: bool,
+        /// Operand stream.
+        stream: Stream,
+    },
+    /// `count` scattered row gathers from an embedding table (one event
+    /// per lookup, rows chosen by the deterministic splitmix hash).
+    Gathers {
+        /// Table base address.
+        table: u64,
+        /// Bytes per row.
+        row_bytes: u64,
+        /// Rows in the table.
+        rows: u64,
+        /// Number of lookups.
+        count: u64,
+        /// Hash salt (derived from the layer index).
+        salt: u64,
+        /// Write (true) or read (false).
+        write: bool,
+    },
+}
+
+/// A source of [`TraceItem`]s that knows how much trace data it buffers
+/// internally — the quantity the benchmarks report as "peak trace-buffer
+/// bytes" and the streaming-memory tests bound.
+pub trait TraceSource: Iterator<Item = TraceItem> {
+    /// Peak bytes of trace data buffered inside the source so far.
+    fn buffer_bytes(&self) -> u64;
+}
+
+/// Resumable generator over the trace of one execution plan (see the
+/// module docs). Create one with [`TraceBuilder::stream`].
+#[derive(Clone, Debug)]
+pub struct TraceStream<'a> {
+    builder: &'a TraceBuilder,
+    plan: &'a ExecutionPlan,
+    /// Pass currently being generated.
+    pass_idx: usize,
+    /// Segment expansion of the current pass (cleared and refilled per
+    /// pass; capacity is the peak segment count of any pass).
+    segments: Vec<Segment>,
+    seg_idx: usize,
+    /// Progress inside the current segment: bytes emitted (sweeps) or
+    /// lookups emitted (gathers).
+    seg_pos: u64,
+    /// Whether a pass is open (segments valid, `PassEnd` still owed).
+    in_pass: bool,
+    compute_cycles: u64,
+    dram_bytes: u64,
+}
+
+impl TraceBuilder {
+    /// Streams the trace of `plan` without materializing it. Yields the
+    /// exact item sequence whose events [`TraceBuilder::build`] collects.
+    pub fn stream<'a>(&'a self, plan: &'a ExecutionPlan) -> TraceStream<'a> {
+        TraceStream {
+            builder: self,
+            plan,
+            pass_idx: 0,
+            segments: Vec::new(),
+            seg_idx: 0,
+            seg_pos: 0,
+            in_pass: false,
+            compute_cycles: 0,
+            dram_bytes: 0,
+        }
+    }
+}
+
+impl Iterator for TraceStream<'_> {
+    type Item = TraceItem;
+
+    fn next(&mut self) -> Option<TraceItem> {
+        if !self.in_pass {
+            let pass = self.plan.passes().get(self.pass_idx)?;
+            self.segments.clear();
+            self.compute_cycles = self
+                .builder
+                .pass_segments(self.plan, pass, &mut self.segments);
+            self.seg_idx = 0;
+            self.seg_pos = 0;
+            self.dram_bytes = 0;
+            self.in_pass = true;
+        }
+        let Some(seg) = self.segments.get(self.seg_idx) else {
+            // Pass exhausted: emit its boundary record.
+            self.in_pass = false;
+            let pass = self.pass_idx;
+            self.pass_idx += 1;
+            return Some(TraceItem::PassEnd {
+                pass,
+                perf: PassPerf {
+                    compute_cycles: self.compute_cycles,
+                    dram_bytes: self.dram_bytes,
+                },
+            });
+        };
+        let event = match *seg {
+            Segment::Sweeps {
+                base,
+                region_bytes,
+                total,
+                write,
+                stream,
+            } => {
+                let chunk = (total - self.seg_pos).min(region_bytes);
+                self.seg_pos += chunk;
+                if self.seg_pos >= total {
+                    self.seg_idx += 1;
+                    self.seg_pos = 0;
+                }
+                MemEvent {
+                    addr: base,
+                    bytes: chunk,
+                    write,
+                    stream,
+                    pass: self.pass_idx,
+                }
+            }
+            Segment::Gathers {
+                table,
+                row_bytes,
+                rows,
+                count,
+                salt,
+                write,
+            } => {
+                let row = splitmix(salt.wrapping_add(self.seg_pos)) % rows;
+                self.seg_pos += 1;
+                if self.seg_pos >= count {
+                    self.seg_idx += 1;
+                    self.seg_pos = 0;
+                }
+                MemEvent {
+                    addr: table + row * row_bytes,
+                    bytes: row_bytes,
+                    write,
+                    stream: if write {
+                        Stream::WeightWrite
+                    } else {
+                        Stream::WeightRead
+                    },
+                    pass: self.pass_idx,
+                }
+            }
+        };
+        self.dram_bytes += event.bytes;
+        Some(TraceItem::Event(event))
+    }
+}
+
+impl TraceSource for TraceStream<'_> {
+    fn buffer_bytes(&self) -> u64 {
+        (self.segments.capacity() * std::mem::size_of::<Segment>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ArrayConfig;
+    use guardnn_models::layer::{conv, fc};
+    use guardnn_models::{zoo, Network};
+
+    fn check_stream_matches_build(plan: &ExecutionPlan, cfg: ArrayConfig) {
+        let tb = TraceBuilder::new(cfg, plan);
+        let trace = tb.build(plan);
+        let mut events = Vec::new();
+        let mut passes = Vec::new();
+        for item in tb.stream(plan) {
+            match item {
+                TraceItem::Event(e) => events.push(e),
+                TraceItem::PassEnd { pass, perf } => {
+                    assert_eq!(pass, passes.len(), "boundaries arrive in order");
+                    passes.push(perf);
+                }
+            }
+        }
+        assert_eq!(events, trace.events());
+        assert_eq!(passes, trace.passes());
+    }
+
+    #[test]
+    fn stream_equals_build_small_nets() {
+        let net = Network::new(
+            "mix",
+            vec![conv("c1", 8, 3, 4, 3, 1, 1), fc("f1", 1, 256, 10)],
+        );
+        check_stream_matches_build(&ExecutionPlan::inference(&net), ArrayConfig::test_small());
+        check_stream_matches_build(&ExecutionPlan::training(&net, 3), ArrayConfig::test_small());
+    }
+
+    #[test]
+    fn stream_equals_build_embedding_net() {
+        let net = zoo::dlrm();
+        check_stream_matches_build(&ExecutionPlan::inference(&net), ArrayConfig::tpu_v1());
+    }
+
+    #[test]
+    fn events_arrive_in_pass_order_with_boundaries() {
+        let net = Network::new("t", vec![fc("f1", 1, 64, 32), fc("f2", 1, 32, 8)]);
+        let plan = ExecutionPlan::inference(&net);
+        let tb = TraceBuilder::new(ArrayConfig::test_small(), &plan);
+        let mut current = 0usize;
+        let mut boundaries = 0usize;
+        for item in tb.stream(&plan) {
+            match item {
+                TraceItem::Event(e) => assert_eq!(e.pass, current),
+                TraceItem::PassEnd { pass, .. } => {
+                    assert_eq!(pass, current);
+                    current += 1;
+                    boundaries += 1;
+                }
+            }
+        }
+        assert_eq!(boundaries, plan.passes().len());
+    }
+
+    #[test]
+    fn pass_perf_accumulates_event_bytes() {
+        let net = Network::new("t", vec![conv("c1", 16, 4, 8, 3, 1, 1)]);
+        let plan = ExecutionPlan::inference(&net);
+        let tb = TraceBuilder::new(ArrayConfig::test_small(), &plan);
+        let mut bytes = 0u64;
+        for item in tb.stream(&plan) {
+            match item {
+                TraceItem::Event(e) => bytes += e.bytes,
+                TraceItem::PassEnd { perf, .. } => {
+                    assert_eq!(perf.dram_bytes, bytes);
+                    bytes = 0;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_state_stays_constant_sized() {
+        // The whole point: a big network's stream buffers a handful of
+        // segment descriptors, never the trace.
+        let net = zoo::bert_base();
+        let plan = ExecutionPlan::inference(&net);
+        let tb = TraceBuilder::new(ArrayConfig::tpu_v1(), &plan);
+        let mut stream = tb.stream(&plan);
+        let mut count = 0u64;
+        for item in stream.by_ref() {
+            if matches!(item, TraceItem::Event(_)) {
+                count += 1;
+            }
+        }
+        assert!(count > 0);
+        assert!(
+            stream.buffer_bytes() < 4096,
+            "stream buffered {} bytes",
+            stream.buffer_bytes()
+        );
+    }
+
+    #[test]
+    fn stream_is_resumable_and_deterministic() {
+        let net = zoo::dlrm();
+        let plan = ExecutionPlan::inference(&net);
+        let tb = TraceBuilder::new(ArrayConfig::tpu_v1(), &plan);
+        // Interleave two cursors: a clone resumed mid-stream continues
+        // exactly where the original left off.
+        let mut a = tb.stream(&plan);
+        for _ in 0..1000 {
+            a.next();
+        }
+        let mut b = a.clone();
+        for _ in 0..5000 {
+            assert_eq!(a.next(), b.next());
+        }
+    }
+}

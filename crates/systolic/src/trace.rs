@@ -9,6 +9,7 @@
 
 use crate::config::ArrayConfig;
 use crate::engine::simulate_gemm;
+use crate::stream::Segment;
 use crate::traffic::gemm_traffic;
 use guardnn_models::graph::{ExecutionPlan, Pass, PassKind};
 use guardnn_models::Op;
@@ -87,6 +88,13 @@ impl PlanTrace {
             .filter(|e| e.stream == stream)
             .map(|e| e.bytes)
             .sum()
+    }
+
+    /// Bytes of trace data this materialized trace holds in memory — the
+    /// buffering the streaming path ([`TraceBuilder::stream`]) avoids.
+    pub fn buffer_bytes(&self) -> u64 {
+        (self.events.capacity() * std::mem::size_of::<MemEvent>()
+            + self.passes.capacity() * std::mem::size_of::<PassPerf>()) as u64
     }
 }
 
@@ -175,29 +183,29 @@ impl TraceBuilder {
         self.feat_base[layer_output]
     }
 
-    /// Generates the full trace for `plan`.
+    /// Generates the full trace for `plan` by collecting
+    /// [`TraceBuilder::stream`] — the materialized form is kept as the
+    /// differential oracle for the streaming pipeline.
     pub fn build(&self, plan: &ExecutionPlan) -> PlanTrace {
         let mut events = Vec::new();
         let mut passes = Vec::with_capacity(plan.passes().len());
-        for (idx, pass) in plan.passes().iter().enumerate() {
-            let before = events.len();
-            let compute_cycles = self.emit_pass(plan, pass, idx, &mut events);
-            let dram_bytes = events[before..].iter().map(|e| e.bytes).sum();
-            passes.push(PassPerf {
-                compute_cycles,
-                dram_bytes,
-            });
+        for item in self.stream(plan) {
+            match item {
+                crate::stream::TraceItem::Event(e) => events.push(e),
+                crate::stream::TraceItem::PassEnd { perf, .. } => passes.push(perf),
+            }
         }
         PlanTrace { events, passes }
     }
 
-    /// Emits the events of one pass; returns its compute cycles.
-    fn emit_pass(
+    /// Expands one pass into its segment descriptors (the lazily-emitted
+    /// form of the trace; see [`crate::stream::Segment`]); returns the
+    /// pass's compute cycles.
+    pub(crate) fn pass_segments(
         &self,
         plan: &ExecutionPlan,
         pass: &Pass,
-        idx: usize,
-        events: &mut Vec<MemEvent>,
+        segments: &mut Vec<Segment>,
     ) -> u64 {
         let b = self.cfg.bytes_per_elem;
         let batch = plan.batch() as u64;
@@ -236,17 +244,15 @@ impl TraceBuilder {
             // Optimizer step: stream W and dW, write W back.
             (_, PassKind::WeightUpdate) => {
                 push_sweep(
-                    events,
-                    idx,
+                    segments,
                     self.wgt_base[li],
                     out_bytes,
                     false,
                     Stream::WeightRead,
                 );
-                push_sweep(events, idx, in_region, in_bytes, false, Stream::WeightRead);
+                push_sweep(segments, in_region, in_bytes, false, Stream::WeightRead);
                 push_sweep(
-                    events,
-                    idx,
+                    segments,
                     self.wgt_base[li],
                     out_bytes,
                     true,
@@ -259,50 +265,31 @@ impl TraceBuilder {
                 let row_bytes = *dim as u64 * b;
                 let table = self.wgt_base[li];
                 let total_lookups = *lookups as u64 * batch;
-                for i in 0..total_lookups {
-                    let row = splitmix(li as u64 * 0x9E37 + i) % *rows as u64;
-                    events.push(MemEvent {
-                        addr: table + row * row_bytes,
-                        bytes: row_bytes,
+                if total_lookups > 0 {
+                    segments.push(Segment::Gathers {
+                        table,
+                        row_bytes,
+                        rows: *rows as u64,
+                        count: total_lookups,
+                        salt: li as u64 * 0x9E37,
                         write: plan.writes_weights(pass),
-                        stream: if plan.writes_weights(pass) {
-                            Stream::WeightWrite
-                        } else {
-                            Stream::WeightRead
-                        },
-                        pass: idx,
                     });
                 }
                 if !plan.writes_weights(pass) {
-                    push_sweep(
-                        events,
-                        idx,
-                        out_region,
-                        out_bytes,
-                        true,
-                        Stream::FeatureWrite,
-                    );
+                    push_sweep(segments, out_region, out_bytes, true, Stream::FeatureWrite);
                 }
                 total_lookups * row_bytes / (16 * self.cfg.cols as u64).max(1)
             }
             (Op::Eltwise { .. }, _) => {
                 let episode = plan.episode(pass, b);
                 push_sweep(
-                    events,
-                    idx,
+                    segments,
                     in_region,
                     episode.feature_read,
                     false,
                     Stream::FeatureRead,
                 );
-                push_sweep(
-                    events,
-                    idx,
-                    out_region,
-                    out_bytes,
-                    true,
-                    Stream::FeatureWrite,
-                );
+                push_sweep(segments, out_region, out_bytes, true, Stream::FeatureWrite);
                 // Vector unit: one element per column lane per cycle.
                 (out_bytes / b) / self.cfg.cols as u64
             }
@@ -332,8 +319,7 @@ impl TraceBuilder {
                     Stream::WeightRead
                 };
                 push_repeated_sweeps(
-                    events,
-                    idx,
+                    segments,
                     wgt_stream_region,
                     wgt_bytes,
                     traffic.wgt_read,
@@ -342,8 +328,7 @@ impl TraceBuilder {
                 );
                 // Activation reads, possibly re-streamed per weight tile.
                 push_repeated_sweeps(
-                    events,
-                    idx,
+                    segments,
                     in_region,
                     in_bytes,
                     traffic.act_read,
@@ -353,69 +338,43 @@ impl TraceBuilder {
                 // Partial-sum spill.
                 if traffic.psum_rw > 0 {
                     let half = traffic.psum_rw / 2;
-                    push_sweep(
-                        events,
-                        idx,
-                        self.psum_base,
-                        half,
-                        true,
-                        Stream::FeatureWrite,
-                    );
-                    push_sweep(
-                        events,
-                        idx,
-                        self.psum_base,
-                        half,
-                        false,
-                        Stream::FeatureRead,
-                    );
+                    push_sweep(segments, self.psum_base, half, true, Stream::FeatureWrite);
+                    push_sweep(segments, self.psum_base, half, false, Stream::FeatureRead);
                 }
-                // Output writes.
+                // Output writes: exactly the output tensor. The tiling
+                // model's `out_write` equals it under every shipped
+                // dataflow (outputs are written once), so the episode's
+                // own extent is the authoritative figure here.
                 let out_stream = if plan.writes_weights(pass) {
                     Stream::WeightWrite
                 } else {
                     Stream::FeatureWrite
                 };
-                push_sweep(
-                    events,
-                    idx,
-                    out_region,
-                    traffic.out_write.min(out_bytes).max(out_bytes),
-                    true,
-                    out_stream,
-                );
+                push_sweep(segments, out_region, out_bytes, true, out_stream);
                 perf.cycles
             }
         }
     }
 }
 
-/// Emits one sweep over `[base, base + bytes)`.
-fn push_sweep(
-    events: &mut Vec<MemEvent>,
-    pass: usize,
-    base: u64,
-    bytes: u64,
-    write: bool,
-    stream: Stream,
-) {
+/// Queues one sweep over `[base, base + bytes)` (a single event).
+fn push_sweep(segments: &mut Vec<Segment>, base: u64, bytes: u64, write: bool, stream: Stream) {
     if bytes == 0 {
         return;
     }
-    events.push(MemEvent {
-        addr: base,
-        bytes,
+    segments.push(Segment::Sweeps {
+        base,
+        region_bytes: bytes,
+        total: bytes,
         write,
         stream,
-        pass,
     });
 }
 
-/// Emits `total` bytes of traffic as repeated sweeps over a region of
-/// `region_bytes`.
+/// Queues `total` bytes of traffic as repeated sweeps over a region of
+/// `region_bytes` (one event per sweep).
 fn push_repeated_sweeps(
-    events: &mut Vec<MemEvent>,
-    pass: usize,
+    segments: &mut Vec<Segment>,
     base: u64,
     region_bytes: u64,
     total: u64,
@@ -425,16 +384,17 @@ fn push_repeated_sweeps(
     if total == 0 || region_bytes == 0 {
         return;
     }
-    let mut remaining = total;
-    while remaining > 0 {
-        let chunk = remaining.min(region_bytes);
-        push_sweep(events, pass, base, chunk, write, stream);
-        remaining -= chunk;
-    }
+    segments.push(Segment::Sweeps {
+        base,
+        region_bytes,
+        total,
+        write,
+        stream,
+    });
 }
 
 /// SplitMix64 — deterministic hash for embedding row selection.
-fn splitmix(mut x: u64) -> u64 {
+pub(crate) fn splitmix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E3779B97F4A7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);

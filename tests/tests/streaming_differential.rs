@@ -1,0 +1,241 @@
+//! Differential coverage for the streaming simulation pipeline: the
+//! pull-based path (generate → protect → schedule without materializing)
+//! must be **bit-identical** to the materialized oracle — same cycle
+//! counts, traffic bytes, and row-buffer statistics — while buffering
+//! orders of magnitude less trace data.
+//!
+//! Three layers of pinning:
+//!
+//! 1. generation: `TraceBuilder::stream` equals `TraceBuilder::build` on
+//!    all nine paper networks, inference and training (the layout math is
+//!    shared, so this pins the generator's lazy expansion);
+//! 2. end-to-end: `perf::evaluate` (streaming, serial and per-channel
+//!    threaded) equals `perf::evaluate_materialized` across random
+//!    networks, modes, and all four schemes (property test), plus the
+//!    paper's two smallest networks deterministically;
+//! 3. memory: the streaming generator's peak buffer on BERT/wav2vec2 is
+//!    ≥10× (in fact ≥1000×) smaller than the materialized trace.
+
+use guardnn::perf::{evaluate, evaluate_materialized, EvalConfig, Mode, Parallelism, Scheme};
+use guardnn_dram::ChannelMode;
+use guardnn_memprot::harness::RunSummary;
+use guardnn_models::graph::ExecutionPlan;
+use guardnn_models::layer::{conv, dwconv, fc};
+use guardnn_models::{zoo, Gemm, Layer, Network, Op};
+use guardnn_systolic::{ArrayConfig, TraceBuilder, TraceItem, TraceSource};
+use proptest::prelude::*;
+
+fn assert_bit_identical(a: &RunSummary, b: &RunSummary, what: &str) {
+    assert_eq!(a.scheme, b.scheme, "{what}");
+    assert_eq!(a.data_bytes, b.data_bytes, "{what}: data bytes");
+    assert_eq!(a.meta_bytes, b.meta_bytes, "{what}: meta bytes");
+    assert_eq!(a.dram, b.dram, "{what}: DRAM stats (cycles, row buffer)");
+    assert_eq!(a.compute_cycles, b.compute_cycles, "{what}: compute");
+    assert_eq!(
+        a.exec_ns.to_bits(),
+        b.exec_ns.to_bits(),
+        "{what}: exec_ns bits"
+    );
+}
+
+/// Streaming generation must yield exactly the events and pass records the
+/// materialized builder collects — across every network of the paper's
+/// evaluation, in both modes. (Pure generation: no DRAM simulation, so
+/// this sweep over all nine networks stays cheap.)
+#[test]
+fn stream_equals_build_on_all_nine_networks() {
+    for net in zoo::figure3_inference_suite() {
+        for (mode, bytes_per_elem) in [(Mode::Inference, 1u64), (Mode::Training { batch: 4 }, 2u64)]
+        {
+            let plan = match mode {
+                Mode::Inference => ExecutionPlan::inference(&net),
+                Mode::Training { batch } => ExecutionPlan::training(&net, batch),
+            };
+            let mut array = ArrayConfig::tpu_v1();
+            array.bytes_per_elem = bytes_per_elem;
+            let tb = TraceBuilder::new(array, &plan);
+            let trace = tb.build(&plan);
+            let mut events = trace.events().iter();
+            let mut passes = trace.passes().iter();
+            let mut streamed_events = 0usize;
+            let mut streamed_passes = 0usize;
+            for item in tb.stream(&plan) {
+                match item {
+                    TraceItem::Event(e) => {
+                        assert_eq!(
+                            Some(&e),
+                            events.next(),
+                            "{} {mode:?}: event {streamed_events} diverged",
+                            net.name()
+                        );
+                        streamed_events += 1;
+                    }
+                    TraceItem::PassEnd { perf, .. } => {
+                        assert_eq!(
+                            Some(&perf),
+                            passes.next(),
+                            "{} {mode:?}: pass {streamed_passes} diverged",
+                            net.name()
+                        );
+                        streamed_passes += 1;
+                    }
+                }
+            }
+            assert!(events.next().is_none(), "stream ended early");
+            assert!(passes.next().is_none(), "stream ended early");
+        }
+    }
+}
+
+/// The ROADMAP's trace-memory item, pinned: on the big networks the
+/// streaming generator's peak buffer is at least 10× (actually vastly)
+/// below the materialized trace.
+#[test]
+fn streaming_cuts_peak_trace_memory_10x_on_big_networks() {
+    for net in [zoo::bert_base(), zoo::wav2vec2_base()] {
+        for (mode_name, plan, bytes_per_elem) in [
+            ("inference", ExecutionPlan::inference(&net), 1u64),
+            ("training", ExecutionPlan::training(&net, 4), 2u64),
+        ] {
+            let mut array = ArrayConfig::tpu_v1();
+            array.bytes_per_elem = bytes_per_elem;
+            let tb = TraceBuilder::new(array, &plan);
+            let materialized = tb.build(&plan).buffer_bytes();
+            let mut stream = tb.stream(&plan);
+            stream.by_ref().for_each(drop);
+            let streaming = stream.buffer_bytes();
+            assert!(
+                streaming * 10 <= materialized,
+                "{} {mode_name}: streaming {streaming} B vs materialized {materialized} B",
+                net.name()
+            );
+        }
+    }
+}
+
+/// Deterministic end-to-end pin on the fig3 smoke subset (the two
+/// smallest paper networks): every scheme, serial and channel-threaded.
+#[test]
+fn smoke_networks_end_to_end_identical() {
+    let cfg = EvalConfig {
+        parallelism: Parallelism::Serial,
+        ..EvalConfig::default()
+    };
+    for net in [zoo::dlrm(), zoo::mobilenet_v1()] {
+        for scheme in Scheme::all() {
+            let oracle = evaluate_materialized(&net, Mode::Inference, scheme, &cfg);
+            for channel_mode in [ChannelMode::Serial, ChannelMode::Threaded] {
+                let streamed = evaluate(
+                    &net,
+                    Mode::Inference,
+                    scheme,
+                    &EvalConfig {
+                        channel_mode,
+                        ..cfg
+                    },
+                );
+                assert_bit_identical(
+                    &oracle,
+                    &streamed,
+                    &format!("{}/{scheme:?}/{channel_mode:?}", net.name()),
+                );
+            }
+        }
+    }
+}
+
+/// Builds a small random network covering every operator class the trace
+/// generator knows (conv, depthwise, fc, eltwise, attention GEMM,
+/// embedding gathers).
+fn random_net(kinds: &[usize], hw: usize, cin: usize, cout: usize, emb_rows: usize) -> Network {
+    let mut layers = Vec::new();
+    let mut channels = cin;
+    for (i, kind) in kinds.iter().enumerate() {
+        let name = format!("l{i}");
+        match kind % 6 {
+            0 => {
+                layers.push(conv(&name, hw, channels, cout, 3, 1, 1));
+                channels = cout;
+            }
+            1 => {
+                layers.push(dwconv(&name, hw, channels, 3, 1, 1));
+            }
+            2 => {
+                layers.push(Layer::new(
+                    &name,
+                    Op::Eltwise {
+                        elems: channels * hw * hw,
+                        reads_per_elem: 1 + (i % 2),
+                    },
+                ));
+            }
+            3 => {
+                layers.push(Layer::new(
+                    &name,
+                    Op::AttnMatmul(Gemm {
+                        m: hw,
+                        k: channels.max(1),
+                        n: hw,
+                    }),
+                ));
+            }
+            4 => {
+                layers.push(Layer::new(
+                    &name,
+                    Op::Embedding {
+                        rows: emb_rows,
+                        dim: 16,
+                        lookups: 4,
+                    },
+                ));
+            }
+            _ => {
+                let in_elems = (channels * hw * hw).max(1);
+                layers.push(fc(&name, 1, in_elems, cout.max(1)));
+            }
+        }
+    }
+    Network::new("random", layers)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The acceptance pin: random networks (all operator classes), both
+    /// modes, all four schemes, serial and channel-threaded — streaming
+    /// must reproduce the materialized oracle's cycles, traffic bytes,
+    /// and row-buffer stats bit for bit.
+    #[test]
+    fn streaming_matches_materialized(
+        kind0 in 0usize..6,
+        kind1 in 0usize..6,
+        kind2 in 0usize..6,
+        hw in 4usize..14,
+        cin in 1usize..5,
+        cout in 2usize..8,
+        emb_rows in 64usize..4096,
+        batch in 1usize..4,
+        scheme_sel in 0usize..4,
+        threaded in proptest::arbitrary::any::<bool>(),
+    ) {
+        let net = random_net(&[kind0, kind1, kind2], hw, cin, cout, emb_rows);
+        let scheme = Scheme::all()[scheme_sel];
+        let cfg = EvalConfig {
+            parallelism: Parallelism::Serial,
+            ..EvalConfig::default()
+        };
+        let streaming_cfg = EvalConfig {
+            channel_mode: if threaded { ChannelMode::Threaded } else { ChannelMode::Serial },
+            ..cfg
+        };
+        for mode in [Mode::Inference, Mode::Training { batch }] {
+            let oracle = evaluate_materialized(&net, mode, scheme, &cfg);
+            let streamed = evaluate(&net, mode, scheme, &streaming_cfg);
+            assert_bit_identical(
+                &oracle,
+                &streamed,
+                &format!("random {mode:?}/{scheme:?}/threaded={threaded}"),
+            );
+        }
+    }
+}
