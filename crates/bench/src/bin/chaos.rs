@@ -1,0 +1,46 @@
+//! The chaos-matrix security harness, as a standalone binary.
+//!
+//! Runs every scripted-adversary scenario family across the full
+//! (scheme × channel-mode × parallelism) grid and prints the cell-by-cell
+//! verdict table. Exit status 0 means every tampered cell was detected
+//! with the expected error variant and every clean cell was bit-identical
+//! to its oracle.
+//!
+//! ```text
+//! chaos          # the full matrix (default; minutes)
+//! chaos full     # same
+//! chaos slice    # the fixed CI subset (seconds) — what the smoke job runs
+//! ```
+
+use std::process::ExitCode;
+
+use guardnn_tests::chaos::{run_matrix, MatrixConfig};
+
+fn main() -> ExitCode {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "full".into());
+    let cfg = match mode.as_str() {
+        "full" => MatrixConfig::full(),
+        "slice" => MatrixConfig::ci_slice(),
+        other => {
+            eprintln!("unknown mode `{other}` (expected `full` or `slice`)");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "chaos matrix ({mode}): {} scenario families x {} schemes x {} combos",
+        cfg.scenarios.len(),
+        cfg.schemes.len(),
+        cfg.combos.len()
+    );
+    let report = run_matrix(&cfg);
+    println!("{}", report.render());
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("FAILURES:");
+        for f in report.failures() {
+            eprintln!("  {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -19,7 +19,7 @@
 use guardnn::perf::{
     batched_protocol_cost, evaluate_suite, EvalConfig, Mode, Parallelism, Scheme, SIMULATED_SCHEMES,
 };
-use guardnn_bench::json::run_summary_json;
+use guardnn_bench::json::{run_summary_json, Json};
 use guardnn_bench::{announce_pool, f, Table};
 use guardnn_models::{zoo, Network};
 
@@ -50,7 +50,14 @@ fn protocol_amortization(title: &str, nets: &[Network], bytes_per_elem: f64) {
     table.print();
 }
 
-fn run_suite(title: &str, nets: &[Network], mode: Mode, cfg: &EvalConfig, json: bool) {
+fn run_suite(
+    title: &str,
+    nets: &[Network],
+    mode: Mode,
+    cfg: &EvalConfig,
+    json: bool,
+    records: &mut Vec<Json>,
+) {
     println!("\nFigure 3 — {title}: execution time normalized to no protection (NP)\n");
     let mut table = Table::new(vec![
         "network",
@@ -67,10 +74,13 @@ fn run_suite(title: &str, nets: &[Network], mode: Mode, cfg: &EvalConfig, json: 
     );
     let suite = evaluate_suite(nets, mode, cfg);
     for (net, results) in nets.iter().zip(&suite) {
-        if json {
-            for (_, r) in results {
-                println!("{}", run_summary_json(net.name(), title, r).render());
+        for (_, r) in results {
+            let record =
+                run_summary_json(net.name(), title, r).field("compute_cycles", r.compute_cycles);
+            if json {
+                println!("{}", record.render());
             }
+            records.push(record);
         }
         let get = |s: Scheme| {
             results
@@ -121,9 +131,33 @@ fn smallest(mut nets: Vec<Network>, k: usize) -> Vec<Network> {
     nets
 }
 
+/// Writes the per-PR benchmark artifact: every run record of this
+/// invocation plus the wall-clock time the whole suite took.
+fn write_bench_out(path: &str, mode: &str, wall_s: f64, records: Vec<Json>) {
+    let doc = Json::obj()
+        .field("bench", "fig3")
+        .field("mode", mode)
+        .field("wall_s", wall_s)
+        .field("runs", records);
+    // Trailing newline keeps the committed artifact diff-friendly.
+    match std::fs::write(path, doc.render() + "\n") {
+        Ok(()) => println!("\nwrote benchmark record to {path}"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
+    let bench_out = args.iter().position(|a| a == "--bench-out").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--bench-out needs a path argument");
+            std::process::exit(2);
+        })
+    });
     let mut cfg = EvalConfig::default();
     if args.iter().any(|a| a == "--serial") {
         cfg.parallelism = Parallelism::Serial;
@@ -133,9 +167,12 @@ fn main() {
     }
     let arg = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
+        .enumerate()
+        .find(|(i, a)| !a.starts_with("--") && (*i == 0 || args[i - 1] != "--bench-out"))
+        .map(|(_, a)| a.clone())
         .unwrap_or_else(|| "both".to_string());
+    let started = std::time::Instant::now();
+    let mut records = Vec::new();
     if arg == "smoke" {
         run_suite(
             "smoke (two smallest inference networks)",
@@ -143,7 +180,11 @@ fn main() {
             Mode::Inference,
             &cfg,
             json,
+            &mut records,
         );
+        if let Some(path) = bench_out {
+            write_bench_out(&path, &arg, started.elapsed().as_secs_f64(), records);
+        }
         return;
     }
     if arg == "inference" || arg == "both" {
@@ -153,6 +194,7 @@ fn main() {
             Mode::Inference,
             &cfg,
             json,
+            &mut records,
         );
         println!(
             "\nPaper reference: BP averages 1.25×; GuardNN_CI ≈ 1.0105×; GuardNN_C ≈ 1.0104×."
@@ -166,10 +208,14 @@ fn main() {
             Mode::Training { batch: 4 },
             &cfg,
             json,
+            &mut records,
         );
         println!(
             "\nPaper reference: BP averages 1.29×; GuardNN_CI ≈ 1.0107×; GuardNN_C ≈ 1.0105×."
         );
         protocol_amortization("training", &zoo::figure3_training_suite(), 2.0);
+    }
+    if let Some(path) = bench_out {
+        write_bench_out(&path, &arg, started.elapsed().as_secs_f64(), records);
     }
 }

@@ -120,6 +120,16 @@ impl GuardNnDevice {
         Ok(mem.feature_region(edge))
     }
 
+    /// Public layout query: base address of layer `layer`'s weight region.
+    ///
+    /// # Errors
+    ///
+    /// [`GuardNnError::NoSession`] / [`GuardNnError::InvalidState`] if no
+    /// model is loaded.
+    pub fn weight_region(&self, layer: usize) -> Result<u64, GuardNnError> {
+        Ok(self.memory_ref()?.weight_region(layer))
+    }
+
     /// Public layout query: base address of gradient edge `edge`.
     ///
     /// # Errors
@@ -156,6 +166,16 @@ impl GuardNnDevice {
             .as_mut()
             .ok_or(GuardNnError::InvalidState("no model loaded"))?;
         Ok(mem.protected_memory_mut())
+    }
+
+    /// The active session's device memory, for the experiment hooks in
+    /// [`crate::adversary`] (counter parking). Not part of the modeled
+    /// hardware surface — a real device exposes no such path.
+    pub(crate) fn active_memory_mut(&mut self) -> Result<&mut DeviceMemory, GuardNnError> {
+        self.active_mut()?
+            .memory
+            .as_mut()
+            .ok_or(GuardNnError::InvalidState("no model loaded"))
     }
 
     /// The active hardware context.

@@ -51,6 +51,29 @@ pub enum GuardNnError {
     },
 }
 
+impl GuardNnError {
+    /// The bare variant name (`"ChannelAuth"`, `"IntegrityViolation"`,
+    /// ...), without any payload. The chaos harness keys its
+    /// detection-assertion tables on this — "assert *which* check fired"
+    /// — and report tables render it, so it is part of the API surface
+    /// and pinned by a test.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::NoSession => "NoSession",
+            Self::ChannelAuth => "ChannelAuth",
+            Self::IntegrityViolation { .. } => "IntegrityViolation",
+            Self::BadCertificate => "BadCertificate",
+            Self::BadAttestation => "BadAttestation",
+            Self::BadLayerIndex { .. } => "BadLayerIndex",
+            Self::InvalidState(_) => "InvalidState",
+            Self::ShapeMismatch { .. } => "ShapeMismatch",
+            Self::BadPublicKey => "BadPublicKey",
+            Self::CounterExhausted { .. } => "CounterExhausted",
+            Self::UnknownSession { .. } => "UnknownSession",
+        }
+    }
+}
+
 impl fmt::Display for GuardNnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -109,6 +132,23 @@ mod tests {
             assert!(!msg.is_empty());
             assert!(!msg.ends_with('.'));
         }
+    }
+
+    #[test]
+    fn names_match_variants() {
+        assert_eq!(GuardNnError::ChannelAuth.name(), "ChannelAuth");
+        assert_eq!(
+            GuardNnError::IntegrityViolation { chunk_addr: 0x200 }.name(),
+            "IntegrityViolation"
+        );
+        assert_eq!(
+            GuardNnError::CounterExhausted { counter: "CTR_IN" }.name(),
+            "CounterExhausted"
+        );
+        assert_eq!(
+            GuardNnError::InvalidState("whatever").name(),
+            "InvalidState"
+        );
     }
 
     #[test]

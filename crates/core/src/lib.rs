@@ -24,8 +24,9 @@
 //!   N interleaved user sessions, explicit per-session state machines,
 //!   `SetReadCTR` checkpoint/replay on preemption, and ISA-level input
 //!   batching (`infer_batch`).
-//! * [`adversary`] — physical-attack drivers (tamper, replay) used by the
-//!   security test suite.
+//! * [`adversary`] — scripted fault injection ([`adversary::FaultPlan`]
+//!   message-stream faults, [`adversary::PhysicalFault`] DRAM attacks)
+//!   shared by the security suites, the chaos harness, and the examples.
 //! * [`perf`] — one-call performance evaluation used by the benchmark
 //!   harness (network × {NP, BP, GuardNN_C, GuardNN_CI} → cycles/traffic).
 //!

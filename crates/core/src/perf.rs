@@ -37,10 +37,12 @@
 //! assert!(results.iter().all(|(_, r)| r.exec_ns >= np.exec_ns - 1e-9));
 //! ```
 
-use guardnn_dram::{ChannelMode, DramConfig};
+use guardnn_dram::{ChannelMode, DramConfig, DramSink};
 use guardnn_memprot::baseline::{BaselineMee, MeeConfig};
 use guardnn_memprot::guardnn::GuardNnEngine;
-use guardnn_memprot::harness::{run_protected, run_protected_streaming, RunSummary};
+use guardnn_memprot::harness::{
+    run_protected, run_protected_streaming, run_protected_streaming_into, RunSummary,
+};
 use guardnn_memprot::none::NoProtection;
 use guardnn_memprot::ProtectionEngine;
 use guardnn_models::graph::ExecutionPlan;
@@ -270,6 +272,29 @@ pub fn evaluate(network: &Network, mode: Mode, scheme: Scheme, cfg: &EvalConfig)
         cfg.dram,
         array.clock_mhz,
         cfg.channel_mode,
+    )
+}
+
+/// Sink-interposed variant of [`evaluate`] for the chaos harness: drives
+/// the same streaming pipeline into a caller-supplied [`DramSink`] —
+/// typically a `guardnn_dram::tamper::TamperingSink` injecting scripted
+/// mid-stream faults, wrapped around either the serial system or the
+/// threaded per-channel front end. With an untampered sink the result is
+/// bit-identical to [`evaluate`] on the matching channel mode.
+pub fn evaluate_into(
+    network: &Network,
+    mode: Mode,
+    scheme: Scheme,
+    cfg: &EvalConfig,
+    mut sink: &mut dyn DramSink,
+) -> RunSummary {
+    let (array, plan, tb, mut engine) = eval_setup(network, mode, scheme, cfg);
+    run_protected_streaming_into(
+        tb.stream(&plan),
+        engine.as_mut(),
+        &mut sink,
+        cfg.dram,
+        array.clock_mhz,
     )
 }
 

@@ -549,6 +549,33 @@ impl DeviceServer {
         Ok(())
     }
 
+    /// Malicious-relay experiment hook: delivers an attacker-chosen
+    /// sealed message to the device as this session's next `SetInput`,
+    /// bypassing the server's own sealing and counter bookkeeping. The
+    /// chaos harness uses this to drive replayed or corrupted wires
+    /// through a *served* session — the expected outcome for anything
+    /// but a verbatim next-in-sequence message is
+    /// [`GuardNnError::ChannelAuth`], observed here as a typed error
+    /// without weakening any sealing.
+    ///
+    /// Note that a message the device *accepts* through this hook
+    /// desynchronizes the server's counter mirror for the session (the
+    /// device bumped `CTR_IN` behind the server's back); the session is
+    /// then good only for teardown.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the device surfaces — [`GuardNnError::ChannelAuth`] for
+    /// tampered wires; state errors propagate.
+    pub fn inject_sealed_input(
+        &mut self,
+        session: SessionId,
+        message: Vec<u8>,
+    ) -> Result<Response, GuardNnError> {
+        self.ensure_active(session)?;
+        self.exec(Instruction::SetInput { message })
+    }
+
     /// Advances `session` by **one instruction** — the interleaving point:
     /// the host calls `step` on whichever session it wants to run next,
     /// and the server transparently restores the hardware context

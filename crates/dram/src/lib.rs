@@ -16,6 +16,9 @@
 //! * [`system`] — multi-channel front end with address mapping.
 //! * [`parallel`] — one-worker-per-channel threaded front end
 //!   (bit-identical statistics, lower wall-clock).
+//! * [`tamper`] — a tampering [`DramSink`] wrapper injecting scripted
+//!   faults (address flips, replayed windows, dropped bursts) into the
+//!   request stream, for the chaos security harness.
 //! * [`stats`] — counters.
 //!
 //! # Example
@@ -37,8 +40,10 @@ pub mod config;
 pub mod parallel;
 pub mod stats;
 pub mod system;
+pub mod tamper;
 
 pub use config::DramConfig;
 pub use parallel::{with_channel_workers, ChannelMode, ParallelDram};
 pub use stats::DramStats;
 pub use system::{DramSink, DramSystem};
+pub use tamper::{StreamFault, TamperingSink};

@@ -397,17 +397,34 @@ pub fn run_protected_streaming<I: TraceSource>(
     accel_mhz: u64,
     channels: ChannelMode,
 ) -> RunSummary {
-    let scheme = engine.name();
-    let mut protected = ProtectedStream::new(trace, engine);
-    let outcome = match channels {
+    match channels {
         ChannelMode::Serial => {
             let mut dram = DramSystem::new(dram_cfg);
-            ingest(&mut protected, &mut dram, dram_cfg, accel_mhz)
+            run_protected_streaming_into(trace, engine, &mut dram, dram_cfg, accel_mhz)
         }
         ChannelMode::Threaded => with_channel_workers(dram_cfg, |dram| {
-            ingest(&mut protected, dram, dram_cfg, accel_mhz)
+            run_protected_streaming_into(trace, engine, dram, dram_cfg, accel_mhz)
         }),
-    };
+    }
+}
+
+/// Sink-generic variant of [`run_protected_streaming`]: drives the same
+/// streaming pipeline into a caller-supplied [`DramSink`]. This is the
+/// interposition point for the chaos harness, which wraps the sink in
+/// `guardnn_dram::tamper::TamperingSink` to inject mid-stream faults —
+/// and it is also what the channel-mode dispatch above is built on, so
+/// the wrapped and unwrapped paths cannot diverge. (`dram_cfg` is still
+/// needed for the DRAM-clock → nanosecond conversion.)
+pub fn run_protected_streaming_into<I: TraceSource, S: DramSink>(
+    trace: I,
+    engine: &mut dyn ProtectionEngine,
+    dram: &mut S,
+    dram_cfg: DramConfig,
+    accel_mhz: u64,
+) -> RunSummary {
+    let scheme = engine.name();
+    let mut protected = ProtectedStream::new(trace, engine);
+    let outcome = ingest(&mut protected, dram, dram_cfg, accel_mhz);
     RunSummary {
         scheme,
         data_bytes: outcome.data_bytes,

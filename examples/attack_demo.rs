@@ -1,85 +1,73 @@
-//! Attack demo: physical DRAM tampering and replay against a GuardNN
-//! session.
+//! Attack demo: scripted physical DRAM attacks against a GuardNN
+//! session, driven through the fault-injection API
+//! ([`guardnn::adversary`]).
 //!
 //! Shows the paper's integrity guarantees in action: with GuardNN_CI the
-//! device *detects* both attacks (MAC verification fails); with GuardNN_C
+//! device *detects* every attack (MAC verification fails); with GuardNN_C
 //! the attacks merely corrupt the computation — plaintext never leaks
-//! either way.
+//! either way. The same [`PhysicalFault`] scripts power the chaos-matrix
+//! harness (`guardnn-bench`'s `chaos` binary), which runs them across the
+//! full (scheme × channel-mode × parallelism) grid.
 //!
 //! Run with `cargo run -p guardnn --example attack_demo`.
 
-use guardnn::adversary;
+use guardnn::adversary::{mount_physical_attack, AttackOutcome, PhysicalFault};
 use guardnn::device::GuardNnDevice;
 use guardnn::host::UntrustedHost;
-use guardnn::isa::Instruction;
 use guardnn::session::RemoteUser;
 use guardnn::testnet;
 use guardnn::GuardNnError;
 
-fn session(
-    integrity: bool,
-    seed: u64,
-) -> Result<(GuardNnDevice, RemoteUser, UntrustedHost), GuardNnError> {
-    let (mut device, manufacturer_pk) = GuardNnDevice::provision(0xA77A, seed);
-    let mut user = RemoteUser::new(manufacturer_pk, seed ^ 1);
+fn main() -> Result<(), GuardNnError> {
     let net = testnet::tiny_mlp();
     let weights = testnet::tiny_mlp_weights(5);
     let input = vec![2, 7, 1, 8, 2, 8, 1, 8];
-    let mut host = UntrustedHost::new();
-    host.run_inference(&mut device, &mut user, &net, &weights, &input, integrity)?;
-    Ok((device, user, host))
-}
+    let attacks = [
+        (
+            "bit-flip in the input features",
+            PhysicalFault::FeatureBitFlip { edge: 0 },
+        ),
+        (
+            "stale-ciphertext replay of edge 1",
+            PhysicalFault::StaleFeatureReplay { edge: 1 },
+        ),
+        (
+            "bit-flip in the imported weights",
+            PhysicalFault::WeightBitFlip { layer: 0 },
+        ),
+    ];
 
-fn main() -> Result<(), GuardNnError> {
-    let net = testnet::tiny_mlp();
+    for (integrity, label) in [
+        (true, "GuardNN_CI: integrity on"),
+        (false, "GuardNN_C: confidentiality only"),
+    ] {
+        println!("=== {label} ===");
+        for (i, (name, fault)) in attacks.iter().enumerate() {
+            // Fresh session per attack: a detected tamper poisons the
+            // session (by design), and a garbled one leaves stale state.
+            let seed = 100 * (integrity as u64 + 1) + i as u64;
+            let (mut device, maker_pk) = GuardNnDevice::provision(0xA77A, seed);
+            let mut user = RemoteUser::new(maker_pk, seed ^ 1);
+            let mut host = UntrustedHost::new();
+            host.establish(&mut device, &mut user, &net, &weights, integrity)?;
 
-    println!("=== Attack 1: bit-flip in DRAM, integrity enabled (GuardNN_CI) ===");
-    let (mut device, _user, host) = session(true, 100)?;
-    let feat0 = device.feature_region(0)?;
-    adversary::tamper_bit(&mut device, feat0)?;
-    host.set_read_ctr_for_edge(&mut device, &net, 0, 1 << 32)?;
-    match device.execute(Instruction::Forward { layer: 0 }) {
-        Err(GuardNnError::IntegrityViolation { chunk_addr }) => {
-            println!("DETECTED: integrity violation at chunk {chunk_addr:#x}\n");
+            let outcome =
+                mount_physical_attack(&mut device, &mut user, &mut host, &net, &input, *fault)?;
+            match outcome {
+                AttackOutcome::Detected(e) => {
+                    assert!(integrity, "{name}: detected without integrity?");
+                    println!("  {name}: DETECTED ({e})");
+                }
+                AttackOutcome::Garbled { output, reference } => {
+                    assert!(!integrity, "{name}: undetected despite integrity");
+                    assert_ne!(output, reference, "{name}: tamper went unfelt");
+                    println!("  {name}: NOT detected (by design) — result is garbage, not attacker-chosen:");
+                    println!("    garbled:   {output:?}");
+                    println!("    reference: {reference:?}");
+                }
+            }
         }
-        other => panic!("attack was not detected: {other:?}"),
-    }
-
-    println!("=== Attack 2: replay stale ciphertext, integrity enabled ===");
-    let (mut device, _user, host) = session(true, 200)?;
-    let feat1 = device.feature_region(1)?;
-    let stale = adversary::snapshot_chunk(&mut device, feat1)?;
-    // The device overwrites edge 1 under a newer version number...
-    host.set_read_ctr_for_edge(&mut device, &net, 0, 1 << 32)?;
-    device.execute(Instruction::Forward { layer: 0 })?;
-    // ...and the adversary puts the old bytes (and their old MAC) back.
-    adversary::replay_chunk(&mut device, stale)?;
-    host.set_read_ctr_for_edge(&mut device, &net, 1, (1 << 32) | 3)?;
-    match device.execute(Instruction::Forward { layer: 1 }) {
-        Err(GuardNnError::IntegrityViolation { chunk_addr }) => {
-            println!("DETECTED: replayed chunk at {chunk_addr:#x} rejected\n");
-        }
-        other => panic!("replay was not detected: {other:?}"),
-    }
-
-    println!("=== Attack 3: bit-flip with confidentiality-only (GuardNN_C) ===");
-    let (mut device, mut user, host) = session(false, 300)?;
-    let feat0 = device.feature_region(0)?;
-    adversary::tamper_bit(&mut device, feat0)?;
-    host.set_read_ctr_for_edge(&mut device, &net, 0, 1 << 32)?;
-    device.execute(Instruction::Forward { layer: 0 })?;
-    host.set_read_ctr_for_edge(&mut device, &net, 1, (1 << 32) | 2)?;
-    device.execute(Instruction::Forward { layer: 1 })?;
-    host.set_read_ctr_for_edge(&mut device, &net, 2, (1 << 32) | 3)?;
-    if let guardnn::Response::Output { message } = device.execute(Instruction::ExportOutput)? {
-        let garbled = user.decrypt_tensor(&message)?;
-        let weights = testnet::tiny_mlp_weights(5);
-        let reference = testnet::tiny_mlp_reference(&weights, &[2, 7, 1, 8, 2, 8, 1, 8]);
-        assert_ne!(garbled, reference);
-        println!("NOT detected (by design), but result is garbage, not attacker-chosen:");
-        println!("  garbled:   {garbled:?}");
-        println!("  reference: {reference:?}");
-        println!("confidentiality held throughout: only ciphertext ever left the chip.");
+        println!("confidentiality held throughout: only ciphertext ever left the chip.\n");
     }
     Ok(())
 }

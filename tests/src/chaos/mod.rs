@@ -1,0 +1,694 @@
+//! The chaos-matrix security harness: scripted adversaries across the
+//! full (scheme × channel-mode × parallelism) grid.
+//!
+//! The paper's security argument is only as strong as its weakest
+//! configuration, so this harness runs every scripted adversary in every
+//! cell of the evaluation grid and holds each cell to the same two-sided
+//! contract:
+//!
+//! * **Every tampered run is detected** — and not just detected, but
+//!   refused with the *expected* typed [`guardnn::GuardNnError`] variant
+//!   (channel faults trip `ChannelAuth`, DRAM faults under integrity trip
+//!   `IntegrityViolation`, counter pressure trips `CounterExhausted`).
+//!   Confidentiality-only schemes may compute through a DRAM tamper, but
+//!   the result must be visibly garbled — never the honest plaintext.
+//! * **Every clean run is bit-identical to its oracle** — the functional
+//!   twin of each scenario must match the reference network output, and
+//!   the performance pipeline (cycles, traffic, row statistics, execution
+//!   time) must match the materialized differential oracle bit for bit in
+//!   every channel mode and worker policy.
+//!
+//! The grid has three axes: the four protection [`Scheme`]s, the DRAM
+//! [`ChannelMode`] (inline vs one worker thread per channel), and the
+//! job-level [`Parallelism`] policy. Functional scenarios do not touch
+//! the DRAM timing model, so their outcomes must be *invariant* across
+//! combos — [`run_matrix`] asserts exactly that, which is how thread
+//! scheduling is pinned out of the security story.
+//!
+//! Scenario families live in data ([`all_scenarios`]): each is a name, a
+//! `run` function mounting the tampered attack plus its clean twin, and
+//! an `expect` function mapping a scheme to the required [`Outcome`]. To
+//! add a family, write the two functions and push a [`Scenario`] — the
+//! matrix driver, the CI slice, and the `chaos` bench binary pick it up
+//! unchanged.
+
+mod scenarios;
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use guardnn::device::MAX_SESSIONS;
+use guardnn::perf::{
+    evaluate_all_parallel, evaluate_into, evaluate_materialized, EvalConfig, Mode, Parallelism,
+    Scheme,
+};
+use guardnn::GuardNnError;
+use guardnn_dram::{with_channel_workers, ChannelMode, DramSystem, StreamFault, TamperingSink};
+use guardnn_memprot::harness::RunSummary;
+use guardnn_models::layer::{conv, fc};
+use guardnn_models::Network;
+
+/// The functional-world integrity setting a perf scheme maps to. The
+/// functional device always encrypts (there is no functional plaintext
+/// mode), so `NoProtection` and `GuardNN_C` run confidentiality-only
+/// sessions while `GuardNN_CI` and the MEE baseline verify integrity.
+pub fn integrity_of(scheme: Scheme) -> bool {
+    matches!(scheme, Scheme::GuardNnCi | Scheme::Baseline)
+}
+
+/// What a tampered (or clean) run was observed to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The device refused with this [`guardnn::GuardNnError`] variant
+    /// (by [`guardnn::GuardNnError::name`]).
+    Detected(&'static str),
+    /// The device computed through the tamper and produced output that
+    /// differs from the honest reference (confidentiality-only schemes).
+    Garbled,
+    /// The run behaved as if untampered — a *failure* for any tampered
+    /// cell.
+    Clean,
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Detected(name) => write!(f, "detected:{name}"),
+            Outcome::Garbled => write!(f, "garbled"),
+            Outcome::Clean => write!(f, "clean"),
+        }
+    }
+}
+
+/// What one scenario cell observed: the tampered run's [`Outcome`] and
+/// whether the clean twin of the same cell matched its reference oracle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScenarioResult {
+    /// Outcome of the tampered run.
+    pub tampered: Outcome,
+    /// Whether the untampered twin matched the reference bit for bit.
+    pub clean: bool,
+}
+
+/// Scenario knobs shared by every family.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// Base seed for deterministic inputs and fault positions.
+    pub seed: u64,
+    /// Sessions in the preemption storm (clamped to the device table).
+    pub sessions: usize,
+    /// Sealed messages per host-fault stream (min 2).
+    pub stream_len: usize,
+}
+
+/// One scenario family: a named adversary script plus its per-scheme
+/// expectation.
+#[derive(Clone, Copy)]
+pub struct Scenario {
+    /// Family name (stable, used in reports and cross-combo keys).
+    pub name: &'static str,
+    /// Mounts the tampered attack and its clean twin for one scheme.
+    pub run: fn(Scheme, &ChaosConfig) -> Result<ScenarioResult, GuardNnError>,
+    /// The outcome the tampered run must produce under a scheme.
+    pub expect: fn(Scheme) -> Outcome,
+}
+
+impl fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scenario")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+fn expect_channel_auth(_: Scheme) -> Outcome {
+    // The secure channel's MAC and strict sequence numbers are on for
+    // every scheme — relay faults are always typed ChannelAuth.
+    Outcome::Detected("ChannelAuth")
+}
+
+fn expect_integrity_or_garble(scheme: Scheme) -> Outcome {
+    if integrity_of(scheme) {
+        Outcome::Detected("IntegrityViolation")
+    } else {
+        Outcome::Garbled
+    }
+}
+
+fn expect_counter_exhausted(_: Scheme) -> Outcome {
+    Outcome::Detected("CounterExhausted")
+}
+
+/// Every scenario family, in reporting order.
+pub fn all_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "host-drop",
+            run: scenarios::host_drop,
+            expect: expect_channel_auth,
+        },
+        Scenario {
+            name: "host-replay",
+            run: scenarios::host_replay,
+            expect: expect_channel_auth,
+        },
+        Scenario {
+            name: "host-reorder",
+            run: scenarios::host_reorder,
+            expect: expect_channel_auth,
+        },
+        Scenario {
+            name: "host-corrupt",
+            run: scenarios::host_corrupt,
+            expect: expect_channel_auth,
+        },
+        Scenario {
+            name: "dram-bitflip",
+            run: scenarios::dram_bitflip,
+            expect: expect_integrity_or_garble,
+        },
+        Scenario {
+            name: "dram-stale-replay",
+            run: scenarios::dram_stale_replay,
+            expect: expect_integrity_or_garble,
+        },
+        Scenario {
+            name: "preempt-storm",
+            run: scenarios::preempt_storm,
+            expect: expect_integrity_or_garble,
+        },
+        Scenario {
+            name: "cancel-churn",
+            run: scenarios::cancel_churn,
+            expect: expect_channel_auth,
+        },
+        Scenario {
+            name: "lru-churn",
+            run: scenarios::lru_churn,
+            expect: expect_integrity_or_garble,
+        },
+        Scenario {
+            name: "ctr-exhaust",
+            run: scenarios::ctr_exhaust,
+            expect: expect_counter_exhausted,
+        },
+    ]
+}
+
+/// One cell of the (channel-mode × parallelism) plane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Combo {
+    /// How each DRAM simulation drives its channels.
+    pub channel_mode: ChannelMode,
+    /// Worker policy for fanning scenario/evaluation jobs out.
+    pub parallelism: Parallelism,
+}
+
+impl Combo {
+    /// Stable display label, e.g. `inline/serial` or `threaded/threads4`.
+    pub fn label(&self) -> String {
+        let cm = match self.channel_mode {
+            ChannelMode::Serial => "inline",
+            ChannelMode::Threaded => "threaded",
+        };
+        let par = match self.parallelism {
+            Parallelism::Serial => "serial".to_string(),
+            Parallelism::Auto => "auto".to_string(),
+            Parallelism::Threads(n) => format!("threads{n}"),
+        };
+        format!("{cm}/{par}")
+    }
+
+    /// The full 2×2 combo plane.
+    pub fn grid() -> Vec<Combo> {
+        let mut combos = Vec::new();
+        for channel_mode in [ChannelMode::Serial, ChannelMode::Threaded] {
+            for parallelism in [Parallelism::Serial, Parallelism::Threads(4)] {
+                combos.push(Combo {
+                    channel_mode,
+                    parallelism,
+                });
+            }
+        }
+        combos
+    }
+}
+
+/// Configuration of one matrix run.
+#[derive(Clone, Debug)]
+pub struct MatrixConfig {
+    /// Protection schemes to cover.
+    pub schemes: Vec<Scheme>,
+    /// (channel-mode × parallelism) cells to cover.
+    pub combos: Vec<Combo>,
+    /// Scenario families to mount in every cell.
+    pub scenarios: Vec<Scenario>,
+    /// Shared scenario knobs.
+    pub chaos: ChaosConfig,
+    /// Network driven through the performance pipeline.
+    pub perf_network: Network,
+    /// Scripted fault for the tampered performance runs.
+    pub perf_fault: StreamFault,
+}
+
+/// The small convolutional network the performance phases simulate —
+/// big enough for real DRAM traffic, small enough for the CI budget.
+fn perf_network() -> Network {
+    Network::new(
+        "chaos-perf",
+        vec![conv("c1", 8, 3, 4, 3, 1, 1), fc("f1", 1, 4 * 8 * 8, 10)],
+    )
+}
+
+/// A mid-stream address-line fault well inside every scheme's request
+/// stream for [`perf_network`].
+fn perf_fault() -> StreamFault {
+    StreamFault::AddrFlip {
+        at: 40,
+        count: 16,
+        xor: 1 << 20,
+    }
+}
+
+impl MatrixConfig {
+    /// The full matrix: all four schemes × the 2×2 combo plane × every
+    /// scenario family, with a full-table preemption storm. This is the
+    /// manual `chaos` bench binary's default — minutes, not seconds.
+    pub fn full() -> Self {
+        Self {
+            schemes: Scheme::all().to_vec(),
+            combos: Combo::grid(),
+            scenarios: all_scenarios(),
+            chaos: ChaosConfig {
+                seed: 0xC4A0,
+                sessions: MAX_SESSIONS,
+                stream_len: 6,
+            },
+            perf_network: perf_network(),
+            perf_fault: perf_fault(),
+        }
+    }
+
+    /// The CI slice: every scenario family, all four schemes, but only
+    /// two combos and a small preemption storm — the fixed subset the
+    /// smoke job runs on every push.
+    pub fn ci_slice() -> Self {
+        Self {
+            schemes: Scheme::all().to_vec(),
+            combos: vec![
+                Combo {
+                    channel_mode: ChannelMode::Serial,
+                    parallelism: Parallelism::Serial,
+                },
+                Combo {
+                    channel_mode: ChannelMode::Threaded,
+                    parallelism: Parallelism::Threads(2),
+                },
+            ],
+            scenarios: all_scenarios(),
+            chaos: ChaosConfig {
+                seed: 0xC4A0,
+                sessions: 6,
+                stream_len: 4,
+            },
+            perf_network: perf_network(),
+            perf_fault: perf_fault(),
+        }
+    }
+}
+
+/// One functional cell's verdict.
+#[derive(Clone, Debug)]
+pub struct CellReport {
+    /// Combo label the cell ran under.
+    pub combo: String,
+    /// Scenario family name.
+    pub scenario: &'static str,
+    /// Protection scheme.
+    pub scheme: Scheme,
+    /// Outcome the tampered run was required to produce.
+    pub expected: Outcome,
+    /// Outcome the tampered run actually produced (`None` when the
+    /// scenario itself failed to run).
+    pub observed: Option<Outcome>,
+    /// Whether the clean twin matched its reference oracle.
+    pub clean_ok: bool,
+    /// Infrastructure error that aborted the scenario, if any.
+    pub error: Option<String>,
+}
+
+impl CellReport {
+    /// Whether this cell met the contract.
+    pub fn pass(&self) -> bool {
+        self.error.is_none() && self.observed == Some(self.expected) && self.clean_ok
+    }
+
+    fn observed_str(&self) -> String {
+        match (&self.observed, &self.error) {
+            (Some(o), _) => o.to_string(),
+            (None, Some(e)) => format!("error:{e}"),
+            (None, None) => "-".to_string(),
+        }
+    }
+}
+
+/// One performance cell's verdict: clean bit-identity against the
+/// materialized oracle, plus tampered-sink observability and determinism.
+#[derive(Clone, Debug)]
+pub struct PerfReport {
+    /// Combo label the cell ran under.
+    pub combo: String,
+    /// Protection scheme.
+    pub scheme: Scheme,
+    /// Clean streamed run is bit-identical to the materialized oracle.
+    pub clean_bit_identical: bool,
+    /// The scripted DRAM fault actually struck the stream.
+    pub tamper_fired: bool,
+    /// Two tampered runs are bit-identical to each other.
+    pub tamper_deterministic: bool,
+    /// The tampered run's statistics differ from the clean run's.
+    pub tamper_observable: bool,
+}
+
+impl PerfReport {
+    /// Whether this cell met the contract.
+    pub fn pass(&self) -> bool {
+        self.clean_bit_identical
+            && self.tamper_fired
+            && self.tamper_deterministic
+            && self.tamper_observable
+    }
+}
+
+/// Full matrix verdict: every functional and performance cell, plus any
+/// cross-combo invariance violations.
+#[derive(Clone, Debug)]
+pub struct MatrixReport {
+    /// Functional cells (scenario × scheme × combo).
+    pub cells: Vec<CellReport>,
+    /// Performance cells (scheme × combo).
+    pub perf: Vec<PerfReport>,
+    /// (scenario, scheme) pairs whose outcome differed across combos.
+    pub invariance_failures: Vec<String>,
+}
+
+impl MatrixReport {
+    /// Whether every cell passed and outcomes were combo-invariant.
+    pub fn passed(&self) -> bool {
+        self.cells.iter().all(CellReport::pass)
+            && self.perf.iter().all(PerfReport::pass)
+            && self.invariance_failures.is_empty()
+    }
+
+    /// Human-readable description of every failing cell.
+    pub fn failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for c in self.cells.iter().filter(|c| !c.pass()) {
+            out.push(format!(
+                "[{}] {} × {}: expected {}, observed {}, clean twin {}",
+                c.combo,
+                c.scenario,
+                c.scheme.label(),
+                c.expected,
+                c.observed_str(),
+                if c.clean_ok { "ok" } else { "DIVERGED" },
+            ));
+        }
+        for p in self.perf.iter().filter(|p| !p.pass()) {
+            out.push(format!(
+                "[{}] perf × {}: clean-identical={}, fired={}, deterministic={}, observable={}",
+                p.combo,
+                p.scheme.label(),
+                p.clean_bit_identical,
+                p.tamper_fired,
+                p.tamper_deterministic,
+                p.tamper_observable,
+            ));
+        }
+        out.extend(self.invariance_failures.iter().cloned());
+        out
+    }
+
+    /// Renders the whole matrix as aligned text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut rows = vec![vec![
+            "combo".to_string(),
+            "scenario".to_string(),
+            "scheme".to_string(),
+            "expected".to_string(),
+            "observed".to_string(),
+            "clean".to_string(),
+            "verdict".to_string(),
+        ]];
+        for c in &self.cells {
+            rows.push(vec![
+                c.combo.clone(),
+                c.scenario.to_string(),
+                c.scheme.label().to_string(),
+                c.expected.to_string(),
+                c.observed_str(),
+                if c.clean_ok { "ok" } else { "DIVERGED" }.to_string(),
+                if c.pass() { "pass" } else { "FAIL" }.to_string(),
+            ]);
+        }
+        out.push_str("Functional cells (tampered outcome + clean twin):\n");
+        out.push_str(&aligned(&rows));
+
+        let mut rows = vec![vec![
+            "combo".to_string(),
+            "scheme".to_string(),
+            "clean=oracle".to_string(),
+            "fired".to_string(),
+            "deterministic".to_string(),
+            "observable".to_string(),
+            "verdict".to_string(),
+        ]];
+        for p in &self.perf {
+            rows.push(vec![
+                p.combo.clone(),
+                p.scheme.label().to_string(),
+                yn(p.clean_bit_identical),
+                yn(p.tamper_fired),
+                yn(p.tamper_deterministic),
+                yn(p.tamper_observable),
+                if p.pass() { "pass" } else { "FAIL" }.to_string(),
+            ]);
+        }
+        out.push_str("\nPerformance cells (bit-identity + tampering sink):\n");
+        out.push_str(&aligned(&rows));
+
+        if self.invariance_failures.is_empty() {
+            out.push_str("\nCross-combo invariance: ok\n");
+        } else {
+            out.push_str("\nCross-combo invariance FAILURES:\n");
+            for f in &self.invariance_failures {
+                out.push_str(&format!("  {f}\n"));
+            }
+        }
+        let fc = self.cells.iter().filter(|c| c.pass()).count();
+        let pc = self.perf.iter().filter(|p| p.pass()).count();
+        out.push_str(&format!(
+            "\n{fc}/{} functional cells pass, {pc}/{} performance cells pass\n",
+            self.cells.len(),
+            self.perf.len(),
+        ));
+        out
+    }
+}
+
+fn yn(b: bool) -> String {
+    if b { "yes" } else { "NO" }.to_string()
+}
+
+fn aligned(rows: &[Vec<String>]) -> String {
+    let cols = rows.first().map_or(0, Vec::len);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for row in rows {
+        out.push_str("  ");
+        for (cell, w) in row.iter().zip(&widths) {
+            out.push_str(&format!("{cell:<w$}  "));
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Field-wise bit identity of two run summaries — the same definition the
+/// streaming differential suite pins, deliberately excluding
+/// `trace_buffer_bytes` (the streaming and materialized drivers buffer
+/// different amounts by design).
+pub fn bit_identical(a: &RunSummary, b: &RunSummary) -> bool {
+    a.scheme == b.scheme
+        && a.data_bytes == b.data_bytes
+        && a.meta_bytes == b.meta_bytes
+        && a.dram == b.dram
+        && a.compute_cycles == b.compute_cycles
+        && a.exec_ns.to_bits() == b.exec_ns.to_bits()
+}
+
+/// Runs one tampered performance simulation under a combo's channel mode,
+/// returning the summary and whether the fault struck.
+fn tampered_run(
+    network: &Network,
+    scheme: Scheme,
+    combo: Combo,
+    fault: StreamFault,
+    eval_cfg: &EvalConfig,
+) -> (RunSummary, bool) {
+    match combo.channel_mode {
+        ChannelMode::Serial => {
+            let mut sink = TamperingSink::new(DramSystem::new(eval_cfg.dram), fault);
+            let summary = evaluate_into(network, Mode::Inference, scheme, eval_cfg, &mut sink);
+            let fired = sink.fired();
+            (summary, fired)
+        }
+        ChannelMode::Threaded => with_channel_workers(eval_cfg.dram, |front| {
+            let mut sink = TamperingSink::new(front, fault);
+            let summary = evaluate_into(network, Mode::Inference, scheme, eval_cfg, &mut sink);
+            let fired = sink.fired();
+            (summary, fired)
+        }),
+    }
+}
+
+/// The performance phase of one combo: clean bit-identity against the
+/// materialized oracle for every scheme, plus tampering-sink determinism
+/// and observability.
+fn perf_phase(cfg: &MatrixConfig, combo: Combo) -> Vec<PerfReport> {
+    let eval_cfg = EvalConfig {
+        parallelism: combo.parallelism,
+        channel_mode: combo.channel_mode,
+        ..EvalConfig::default()
+    };
+    let streamed = evaluate_all_parallel(&cfg.perf_network, Mode::Inference, &eval_cfg);
+    streamed
+        .iter()
+        .filter(|(scheme, _)| cfg.schemes.contains(scheme))
+        .map(|(scheme, clean)| {
+            let oracle =
+                evaluate_materialized(&cfg.perf_network, Mode::Inference, *scheme, &eval_cfg);
+            let (t1, fired) =
+                tampered_run(&cfg.perf_network, *scheme, combo, cfg.perf_fault, &eval_cfg);
+            let (t2, _) =
+                tampered_run(&cfg.perf_network, *scheme, combo, cfg.perf_fault, &eval_cfg);
+            PerfReport {
+                combo: combo.label(),
+                scheme: *scheme,
+                clean_bit_identical: bit_identical(clean, &oracle),
+                tamper_fired: fired,
+                tamper_deterministic: bit_identical(&t1, &t2),
+                tamper_observable: !bit_identical(&t1, clean),
+            }
+        })
+        .collect()
+}
+
+/// Runs the full chaos matrix described by `cfg`: every scenario family ×
+/// scheme fanned across each combo's worker pool, then the performance
+/// bit-identity and tampering-sink phases, then the cross-combo
+/// invariance check.
+pub fn run_matrix(cfg: &MatrixConfig) -> MatrixReport {
+    let mut cells = Vec::new();
+    let mut perf = Vec::new();
+    for combo in &cfg.combos {
+        let jobs: Vec<(usize, Scheme)> = (0..cfg.scenarios.len())
+            .flat_map(|si| cfg.schemes.iter().map(move |s| (si, *s)))
+            .collect();
+        let results = combo.parallelism.run(jobs.len(), |i| {
+            (cfg.scenarios[jobs[i].0].run)(jobs[i].1, &cfg.chaos)
+        });
+        for ((si, scheme), result) in jobs.into_iter().zip(results) {
+            let scenario = &cfg.scenarios[si];
+            let (observed, clean_ok, error) = match result {
+                Ok(r) => (Some(r.tampered), r.clean, None),
+                Err(e) => (None, false, Some(e.to_string())),
+            };
+            cells.push(CellReport {
+                combo: combo.label(),
+                scenario: scenario.name,
+                scheme,
+                expected: (scenario.expect)(scheme),
+                observed,
+                clean_ok,
+                error,
+            });
+        }
+        perf.extend(perf_phase(cfg, *combo));
+    }
+
+    // Functional outcomes must not depend on the combo: thread scheduling
+    // and channel workers are performance knobs, not security knobs.
+    let mut by_key: BTreeMap<(&'static str, &'static str), Vec<(String, String)>> = BTreeMap::new();
+    for cell in &cells {
+        by_key
+            .entry((cell.scenario, cell.scheme.label()))
+            .or_default()
+            .push((cell.combo.clone(), cell.observed_str()));
+    }
+    let invariance_failures = by_key
+        .into_iter()
+        .filter(|(_, entries)| entries.iter().any(|(_, o)| *o != entries[0].1))
+        .map(|((scenario, scheme), entries)| {
+            format!("{scenario} × {scheme}: outcome differs across combos: {entries:?}")
+        })
+        .collect();
+
+    MatrixReport {
+        cells,
+        perf,
+        invariance_failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combo_labels_are_stable() {
+        let grid = Combo::grid();
+        assert_eq!(grid.len(), 4);
+        let labels: Vec<String> = grid.iter().map(Combo::label).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "inline/serial",
+                "inline/threads4",
+                "threaded/serial",
+                "threaded/threads4"
+            ]
+        );
+    }
+
+    #[test]
+    fn scenario_families_cover_the_issue_floor() {
+        assert!(all_scenarios().len() >= 6, "need at least 6 families");
+    }
+
+    #[test]
+    fn expectations_follow_the_scheme_split() {
+        for s in Scheme::all() {
+            assert_eq!(expect_channel_auth(s), Outcome::Detected("ChannelAuth"));
+            assert_eq!(
+                expect_counter_exhausted(s),
+                Outcome::Detected("CounterExhausted")
+            );
+            let e = expect_integrity_or_garble(s);
+            if integrity_of(s) {
+                assert_eq!(e, Outcome::Detected("IntegrityViolation"));
+            } else {
+                assert_eq!(e, Outcome::Garbled);
+            }
+        }
+    }
+}

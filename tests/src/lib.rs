@@ -1,1 +1,13 @@
 //! Integration test crate for the GuardNN workspace.
+//!
+//! Besides hosting the cross-crate integration suites under `tests/`,
+//! this crate exports the [`chaos`] security harness: a declarative
+//! scenario layer that mounts scripted adversaries (malicious relays,
+//! DRAM tampering, preemption storms, counter exhaustion) across the
+//! full (scheme × channel-mode × parallelism) evaluation grid. The
+//! harness is a library so both the in-tree chaos tests and the
+//! `guardnn-bench` `chaos` binary drive the exact same matrix.
+
+#![warn(missing_docs)]
+
+pub mod chaos;

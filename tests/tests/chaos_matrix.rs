@@ -1,0 +1,26 @@
+//! The chaos matrix as a test suite: the CI slice runs on every push;
+//! the full matrix is `#[ignore]`d here and driven by the
+//! `guardnn-bench` `chaos` binary (or `cargo test -- --ignored`).
+
+use guardnn_tests::chaos::{run_matrix, MatrixConfig};
+
+#[test]
+fn chaos_ci_slice_passes() {
+    let report = run_matrix(&MatrixConfig::ci_slice());
+    assert!(
+        report.passed(),
+        "chaos CI slice failed:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+#[ignore = "full matrix: run explicitly or via the bench `chaos` binary"]
+fn chaos_full_matrix_passes() {
+    let report = run_matrix(&MatrixConfig::full());
+    assert!(
+        report.passed(),
+        "chaos full matrix failed:\n{}",
+        report.render()
+    );
+}
