@@ -3,13 +3,14 @@
 //! TPU-v1-class simulated accelerator with 16 GB DDR4.
 //!
 //! Run with
-//! `cargo run --release -p guardnn-bench --bin fig3 -- [inference|training|both|smoke] [--json] [--serial] [--channel-threads]`
+//! `cargo run --release -p guardnn-bench --bin fig3 -- [inference|training|both|smoke] [--json] [--serial] [--channel-threads] [--target NAME]... [--all-targets]`
 //! (`--json` additionally emits one machine-readable record per run;
 //! `smoke` runs only the two smallest networks of the inference suite —
 //! the CI wall-clock canary; `--serial` disables the job-level worker
-//! pool; `--channel-threads` simulates the two DRAM channels of each
+//! pool; `--channel-threads` simulates the DRAM channels of each
 //! point on one worker thread each — bit-identical results, useful when
-//! the job pool has cores to spare).
+//! the job pool has cores to spare; `--target`/`--all-targets` pick the
+//! hardware points from the registry, default `guardnn-paper`).
 //!
 //! Every point runs on the streaming pipeline (generate → protect →
 //! schedule without materializing the trace); the `trace buf` column
@@ -20,7 +21,7 @@ use guardnn::perf::{
     batched_protocol_cost, evaluate_suite, EvalConfig, Mode, Parallelism, Scheme, SIMULATED_SCHEMES,
 };
 use guardnn_bench::json::{run_summary_json, Json};
-use guardnn_bench::{announce_pool, f, Table};
+use guardnn_bench::{announce_pool, announce_target, f, positional, select_targets, Table};
 use guardnn_models::{zoo, Network};
 
 /// Amortized per-input protocol overhead (handshake + weight import spread
@@ -52,6 +53,7 @@ fn protocol_amortization(title: &str, nets: &[Network], bytes_per_elem: f64) {
 
 fn run_suite(
     title: &str,
+    target: &str,
     nets: &[Network],
     mode: Mode,
     cfg: &EvalConfig,
@@ -75,8 +77,9 @@ fn run_suite(
     let suite = evaluate_suite(nets, mode, cfg);
     for (net, results) in nets.iter().zip(&suite) {
         for (_, r) in results {
-            let record =
-                run_summary_json(net.name(), title, r).field("compute_cycles", r.compute_cycles);
+            let record = run_summary_json(net.name(), title, r)
+                .field("target", target)
+                .field("compute_cycles", r.compute_cycles);
             if json {
                 println!("{}", record.render());
             }
@@ -158,58 +161,61 @@ fn main() {
             std::process::exit(2);
         })
     });
-    let mut cfg = EvalConfig::default();
-    if args.iter().any(|a| a == "--serial") {
-        cfg.parallelism = Parallelism::Serial;
-    }
-    if args.iter().any(|a| a == "--channel-threads") {
-        cfg.channel_mode = guardnn_dram::ChannelMode::Threaded;
-    }
-    let arg = args
-        .iter()
-        .enumerate()
-        .find(|(i, a)| !a.starts_with("--") && (*i == 0 || args[i - 1] != "--bench-out"))
-        .map(|(_, a)| a.clone())
-        .unwrap_or_else(|| "both".to_string());
+    let targets = select_targets(&args);
+    let arg = positional(&args).unwrap_or_else(|| "both".to_string());
     let started = std::time::Instant::now();
     let mut records = Vec::new();
-    if arg == "smoke" {
-        run_suite(
-            "smoke (two smallest inference networks)",
-            &smallest(zoo::figure3_inference_suite(), 2),
-            Mode::Inference,
-            &cfg,
-            json,
-            &mut records,
-        );
-        if let Some(path) = bench_out {
-            write_bench_out(&path, &arg, started.elapsed().as_secs_f64(), records);
+    for target in &targets {
+        announce_target(target);
+        let mut cfg = EvalConfig::from_target(target);
+        if args.iter().any(|a| a == "--serial") {
+            cfg.parallelism = Parallelism::Serial;
         }
-        return;
+        if args.iter().any(|a| a == "--channel-threads") {
+            cfg.channel_mode = guardnn_dram::ChannelMode::Threaded;
+        }
+        if arg == "smoke" {
+            run_suite(
+                "smoke (two smallest inference networks)",
+                &target.name,
+                &smallest(zoo::figure3_inference_suite(), 2),
+                Mode::Inference,
+                &cfg,
+                json,
+                &mut records,
+            );
+            continue;
+        }
+        if arg == "inference" || arg == "both" {
+            run_suite(
+                "inference (Fig. 3a)",
+                &target.name,
+                &zoo::figure3_inference_suite(),
+                Mode::Inference,
+                &cfg,
+                json,
+                &mut records,
+            );
+        }
+        if arg == "training" || arg == "both" {
+            run_suite(
+                "training (Fig. 3b)",
+                &target.name,
+                &zoo::figure3_training_suite(),
+                Mode::Training { batch: 4 },
+                &cfg,
+                json,
+                &mut records,
+            );
+        }
     }
     if arg == "inference" || arg == "both" {
-        run_suite(
-            "inference (Fig. 3a)",
-            &zoo::figure3_inference_suite(),
-            Mode::Inference,
-            &cfg,
-            json,
-            &mut records,
-        );
         println!(
             "\nPaper reference: BP averages 1.25×; GuardNN_CI ≈ 1.0105×; GuardNN_C ≈ 1.0104×."
         );
         protocol_amortization("inference", &zoo::figure3_inference_suite(), 1.0);
     }
     if arg == "training" || arg == "both" {
-        run_suite(
-            "training (Fig. 3b)",
-            &zoo::figure3_training_suite(),
-            Mode::Training { batch: 4 },
-            &cfg,
-            json,
-            &mut records,
-        );
         println!(
             "\nPaper reference: BP averages 1.29×; GuardNN_CI ≈ 1.0107×; GuardNN_C ≈ 1.0105×."
         );

@@ -2,43 +2,69 @@
 //! overhead (8.2% / 2.6%) and MicroBlaze LUT/FF/BRAM/DSP overhead
 //! (2.5% / 1.9% / 11.0% / 0.9%) over the 512-DSP CHaiDNN base design.
 //!
-//! Run with `cargo run --release -p guardnn-bench --bin resources`.
+//! Run with
+//! `cargo run --release -p guardnn-bench --bin resources -- [--target NAME]... [--all-targets]`
+//! (`--target`/`--all-targets` pick the resource tables from the
+//! registry, default `guardnn-paper` — which reproduces the hard-coded
+//! paper numbers exactly).
 
-use guardnn_bench::{f, Table};
-use guardnn_fpga::resources::{guardnn_addition, Resources};
+use guardnn_bench::{announce_target, f, select_targets, Table};
+use guardnn_fpga::resources::{guardnn_addition_for, Resources};
 
 fn main() {
-    let base = Resources::chaidnn_512_base();
-    println!("\nFPGA resource overhead over CHaiDNN (512 DSPs, 8-bit)\n");
-    let mut t = Table::new(vec![
-        "component",
-        "LUTs",
-        "FFs",
-        "BRAMs",
-        "DSPs",
-        "LUT %",
-        "FF %",
-        "BRAM %",
-        "DSP %",
-    ]);
-    let mut push = |name: &str, r: Resources| {
-        let o = r.overhead_percent(&base);
-        t.row(vec![
-            name.to_string(),
-            f(r.luts, 0),
-            f(r.ffs, 0),
-            f(r.brams, 0),
-            f(r.dsps, 0),
-            f(o.luts, 1),
-            f(o.ffs, 1),
-            f(o.brams, 1),
-            f(o.dsps, 1),
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    for target in select_targets(&args) {
+        announce_target(target);
+        let base = Resources::base_design_for(target);
+        println!(
+            "\nFPGA resource overhead over the base accelerator design ({} DSPs)\n",
+            target.fpga.dsps
+        );
+        let mut t = Table::new(vec![
+            "component",
+            "LUTs",
+            "FFs",
+            "BRAMs",
+            "DSPs",
+            "LUT %",
+            "FF %",
+            "BRAM %",
+            "DSP %",
         ]);
-    };
-    push("AES-128 core (×1)", Resources::aes_core());
-    push("MicroBlaze + 256KB", Resources::microblaze());
-    push("GuardNN total (3 AES)", guardnn_addition(3));
-    push("GuardNN total (4 AES)", guardnn_addition(4));
-    t.print();
-    println!("\nPaper reference: AES 9.0K LUTs (8.2%) / 3.0K FFs (2.6%); MicroBlaze 2.7K LUTs (2.5%), 2.2K FFs (1.9%), 64 BRAMs (11.0%), 6 DSPs (0.9%).");
+        let mut push = |name: String, r: Resources| {
+            let o = r.overhead_percent(&base);
+            t.row(vec![
+                name,
+                f(r.luts, 0),
+                f(r.ffs, 0),
+                f(r.brams, 0),
+                f(r.dsps, 0),
+                f(o.luts, 1),
+                f(o.ffs, 1),
+                f(o.brams, 1),
+                f(o.dsps, 1),
+            ]);
+        };
+        let engines = target.fpga.aes_engines;
+        push(
+            "AES-128 core (×1)".to_string(),
+            Resources::aes_core_for(target),
+        );
+        push(
+            "MicroBlaze + 256KB".to_string(),
+            Resources::microblaze_for(target),
+        );
+        push(
+            format!("GuardNN total ({engines} AES)"),
+            guardnn_addition_for(target),
+        );
+        push(
+            format!("GuardNN total ({} AES)", engines + 1),
+            Resources::aes_core_for(target)
+                .times((engines + 1) as f64)
+                .plus(&Resources::microblaze_for(target)),
+        );
+        t.print();
+    }
+    println!("\nPaper reference (guardnn-paper): AES 9.0K LUTs (8.2%) / 3.0K FFs (2.6%); MicroBlaze 2.7K LUTs (2.5%), 2.2K FFs (1.9%), 64 BRAMs (11.0%), 6 DSPs (0.9%).");
 }

@@ -1,43 +1,67 @@
 //! Extension experiment (not in the paper): how stable is GuardNN's
-//! advantage across accelerator scales and training batch sizes?
+//! advantage across hardware points, accelerator scales, and training
+//! batch sizes?
 //!
-//! The paper evaluates one TPU-v1-class design point. This sweep varies
-//! (a) the PE-array size from 64×64 to 512×512 and (b) the training batch
-//! from 1 to 16, and reports the normalized execution time of GuardNN_CI
-//! and BP at each point — showing that the DNN-specific protection's
-//! near-zero overhead is not an artifact of one configuration.
+//! The paper evaluates one TPU-v1-class design point. This sweep runs
+//! (a) every selected hardware target from the registry as-is,
+//! (b) the PE-array size from 64×64 to 512×512, and (c) the training
+//! batch from 1 to 16, and reports the normalized execution time of
+//! GuardNN_CI and BP at each point — showing that the DNN-specific
+//! protection's near-zero overhead is not an artifact of one
+//! configuration.
 //!
 //! Every sweep point is an independent (cfg, mode, scheme) evaluation, so
 //! each sweep runs as one `evaluate_batch` across the worker pool.
 //!
-//! Run with `cargo run --release -p guardnn-bench --bin sweep`.
+//! Run with
+//! `cargo run --release -p guardnn-bench --bin sweep -- [full|smoke] [--target NAME]... [--all-targets] [--bench-out PATH]`
+//! (`smoke` runs only the registry sweep on the smallest network — the CI
+//! subset; `--bench-out` writes the machine-readable record, same shape
+//! as `fig3 --bench-out`).
 
 use guardnn::perf::{evaluate_batch, EvalConfig, EvalJob, Mode, Parallelism, Scheme};
-use guardnn_bench::{announce_pool, f, Table};
+use guardnn_bench::json::{run_summary_json, Json};
+use guardnn_bench::{announce_pool, f, positional, select_targets, Table};
 use guardnn_models::zoo;
 use guardnn_systolic::ArrayConfig;
+use guardnn_targets::HardwareTarget;
 
 /// Per sweep point: NP (the normalization base), GuardNN_CI, BP.
 const POINT_SCHEMES: [Scheme; 3] = [Scheme::NoProtection, Scheme::GuardNnCi, Scheme::Baseline];
 
-fn main() {
-    let parallelism = Parallelism::Auto;
-    let net = zoo::resnet50();
-    let net = &net;
+/// Appends one record per scheme of a sweep point to `records`.
+fn record_point(
+    records: &mut Vec<Json>,
+    sweep: &str,
+    target: &str,
+    network: &str,
+    point: &[guardnn_memprot::harness::RunSummary],
+) {
+    for r in point {
+        records.push(
+            run_summary_json(network, sweep, r)
+                .field("target", target)
+                .field("compute_cycles", r.compute_cycles),
+        );
+    }
+}
 
-    println!("\nSweep 1 — PE-array scale (ResNet-50 inference, normalized time)\n");
-    let dims = [64usize, 128, 256, 512];
-    let jobs: Vec<EvalJob<'_>> = dims
+/// Sweep over the registry: each target evaluated as its own hardware
+/// point (its array and DRAM system), on one network.
+fn registry_sweep(
+    targets: &[&'static HardwareTarget],
+    net: &guardnn_models::Network,
+    parallelism: Parallelism,
+    records: &mut Vec<Json>,
+) {
+    println!(
+        "\nSweep 1 — hardware targets ({} inference, normalized time)\n",
+        net.name()
+    );
+    let jobs: Vec<EvalJob<'_>> = targets
         .iter()
-        .flat_map(|&dim| {
-            let cfg = EvalConfig {
-                array: ArrayConfig {
-                    rows: dim,
-                    cols: dim,
-                    ..ArrayConfig::tpu_v1()
-                },
-                ..EvalConfig::default()
-            };
+        .flat_map(|t| {
+            let cfg = EvalConfig::from_target(t);
             POINT_SCHEMES.into_iter().map(move |scheme| EvalJob {
                 network: net,
                 mode: Mode::Inference,
@@ -48,68 +72,176 @@ fn main() {
         .collect();
     announce_pool("sweep evaluations", jobs.len(), parallelism);
     let results = evaluate_batch(parallelism, &jobs);
-    let mut t = Table::new(vec!["array", "PEs", "GuardNN_CI", "BP", "trace buf (B)"]);
-    for (dim, point) in dims.iter().zip(results.chunks(POINT_SCHEMES.len())) {
-        let [np, gci, bp] = point else { unreachable!() };
-        let buf = point
-            .iter()
-            .map(|r| r.trace_buffer_bytes)
-            .max()
-            .unwrap_or(0);
-        t.row(vec![
-            format!("{dim}x{dim}"),
-            (dim * dim).to_string(),
-            f(gci.normalized_to(np), 4),
-            f(bp.normalized_to(np), 4),
-            buf.to_string(),
-        ]);
-    }
-    t.print();
-
-    println!("\nSweep 2 — training batch size (ResNet-50, normalized time)\n");
-    let batches = [1usize, 2, 4, 8, 16];
-    let jobs: Vec<EvalJob<'_>> = batches
-        .iter()
-        .flat_map(|&batch| {
-            POINT_SCHEMES.into_iter().map(move |scheme| EvalJob {
-                network: net,
-                mode: Mode::Training { batch },
-                scheme,
-                cfg: EvalConfig::default(),
-            })
-        })
-        .collect();
-    announce_pool("sweep evaluations", jobs.len(), parallelism);
-    let results = evaluate_batch(parallelism, &jobs);
     let mut t = Table::new(vec![
-        "batch",
+        "target",
+        "array",
+        "DRAM",
         "GuardNN_CI",
         "BP",
-        "protocol ms/input (amortized)",
         "trace buf (B)",
     ]);
-    for (batch, point) in batches.iter().zip(results.chunks(POINT_SCHEMES.len())) {
+    for (target, point) in targets.iter().zip(results.chunks(POINT_SCHEMES.len())) {
         let [np, gci, bp] = point else { unreachable!() };
+        record_point(records, "targets", &target.name, net.name(), point);
         let buf = point
             .iter()
             .map(|r| r.trace_buffer_bytes)
             .max()
             .unwrap_or(0);
-        // Protocol-side amortization over the same batch: one session
-        // (key exchange + weight import) serves the whole mini-batch
-        // (bf16 training → 2 bytes/elem on the MicroBlaze model).
-        let protocol = guardnn::perf::batched_protocol_cost(net, *batch, 2.0);
         t.row(vec![
-            batch.to_string(),
+            target.name.clone(),
+            format!("{}x{}", target.array.rows, target.array.cols),
+            format!("{}ch @{} MHz", target.dram.channels, target.dram.clock_mhz),
             f(gci.normalized_to(np), 4),
             f(bp.normalized_to(np), 4),
-            f(protocol.per_input_s() * 1e3, 3),
             buf.to_string(),
         ]);
     }
     t.print();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench_out = args.iter().position(|a| a == "--bench-out").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--bench-out needs a path argument");
+            std::process::exit(2);
+        })
+    });
+    let targets = select_targets(&args);
+    let arg = positional(&args).unwrap_or_else(|| "full".to_string());
+    let parallelism = Parallelism::Auto;
+    let started = std::time::Instant::now();
+    let mut records = Vec::new();
+
+    if arg == "smoke" {
+        // CI subset: the registry sweep on the smallest network only.
+        let net = zoo::dlrm();
+        registry_sweep(&targets, &net, parallelism, &mut records);
+        finish(bench_out, &arg, started, records);
+        return;
+    }
+
+    let net = zoo::resnet50();
+    let net = &net;
+    registry_sweep(&targets, net, parallelism, &mut records);
+
+    // Sweeps 2 and 3 scale one axis of each selected target's point.
+    for target in &targets {
+        let base = EvalConfig::from_target(target);
+        println!(
+            "\nSweep 2 — PE-array scale on {} (ResNet-50 inference, normalized time)\n",
+            target.name
+        );
+        let dims = [64usize, 128, 256, 512];
+        let jobs: Vec<EvalJob<'_>> = dims
+            .iter()
+            .flat_map(|&dim| {
+                let cfg = EvalConfig {
+                    array: ArrayConfig {
+                        rows: dim,
+                        cols: dim,
+                        ..base.array
+                    },
+                    ..base
+                };
+                POINT_SCHEMES.into_iter().map(move |scheme| EvalJob {
+                    network: net,
+                    mode: Mode::Inference,
+                    scheme,
+                    cfg,
+                })
+            })
+            .collect();
+        announce_pool("sweep evaluations", jobs.len(), parallelism);
+        let results = evaluate_batch(parallelism, &jobs);
+        let mut t = Table::new(vec!["array", "PEs", "GuardNN_CI", "BP", "trace buf (B)"]);
+        for (dim, point) in dims.iter().zip(results.chunks(POINT_SCHEMES.len())) {
+            let [np, gci, bp] = point else { unreachable!() };
+            record_point(&mut records, "pe-scale", &target.name, net.name(), point);
+            let buf = point
+                .iter()
+                .map(|r| r.trace_buffer_bytes)
+                .max()
+                .unwrap_or(0);
+            t.row(vec![
+                format!("{dim}x{dim}"),
+                (dim * dim).to_string(),
+                f(gci.normalized_to(np), 4),
+                f(bp.normalized_to(np), 4),
+                buf.to_string(),
+            ]);
+        }
+        t.print();
+
+        println!(
+            "\nSweep 3 — training batch size on {} (ResNet-50, normalized time)\n",
+            target.name
+        );
+        let batches = [1usize, 2, 4, 8, 16];
+        let jobs: Vec<EvalJob<'_>> = batches
+            .iter()
+            .flat_map(|&batch| {
+                POINT_SCHEMES.into_iter().map(move |scheme| EvalJob {
+                    network: net,
+                    mode: Mode::Training { batch },
+                    scheme,
+                    cfg: base,
+                })
+            })
+            .collect();
+        announce_pool("sweep evaluations", jobs.len(), parallelism);
+        let results = evaluate_batch(parallelism, &jobs);
+        let mut t = Table::new(vec![
+            "batch",
+            "GuardNN_CI",
+            "BP",
+            "protocol ms/input (amortized)",
+            "trace buf (B)",
+        ]);
+        for (batch, point) in batches.iter().zip(results.chunks(POINT_SCHEMES.len())) {
+            let [np, gci, bp] = point else { unreachable!() };
+            record_point(&mut records, "batch", &target.name, net.name(), point);
+            let buf = point
+                .iter()
+                .map(|r| r.trace_buffer_bytes)
+                .max()
+                .unwrap_or(0);
+            // Protocol-side amortization over the same batch: one session
+            // (key exchange + weight import) serves the whole mini-batch
+            // (bf16 training → 2 bytes/elem on the MicroBlaze model).
+            let protocol = guardnn::perf::batched_protocol_cost(net, *batch, 2.0);
+            t.row(vec![
+                batch.to_string(),
+                f(gci.normalized_to(np), 4),
+                f(bp.normalized_to(np), 4),
+                f(protocol.per_input_s() * 1e3, 3),
+                buf.to_string(),
+            ]);
+        }
+        t.print();
+    }
     println!(
         "\n(GuardNN's overhead should stay ~flat; BP's grows with memory pressure; the\n\
          per-input protocol cost falls as one session amortizes over the batch.)"
     );
+    finish(bench_out, &arg, started, records);
+}
+
+/// Writes the per-PR benchmark artifact — the same shape `fig3
+/// --bench-out` emits (`bench`/`mode`/`wall_s`/`runs`).
+fn finish(bench_out: Option<String>, mode: &str, started: std::time::Instant, records: Vec<Json>) {
+    let Some(path) = bench_out else { return };
+    let doc = Json::obj()
+        .field("bench", "sweep")
+        .field("mode", mode)
+        .field("wall_s", started.elapsed().as_secs_f64())
+        .field("runs", records);
+    match std::fs::write(&path, doc.render() + "\n") {
+        Ok(()) => println!("\nwrote benchmark record to {path}"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -2,35 +2,49 @@
 //! overhead for {AlexNet, GoogleNet, ResNet, VGG} × {128, 256, 512, 1024
 //! DSPs} × {8-bit, 6-bit}.
 //!
-//! Run with `cargo run --release -p guardnn-bench --bin table2`.
+//! Run with
+//! `cargo run --release -p guardnn-bench --bin table2 -- [--target NAME]... [--all-targets]`
+//! (`--target`/`--all-targets` pick the FPGA prototype point — clock,
+//! efficiency, bandwidth, AES engines — from the registry, default
+//! `guardnn-paper`; the DSP axis still sweeps 128–1024).
 
-use guardnn_bench::{pct, Table};
+use guardnn_bench::{announce_target, pct, select_targets, Table};
 use guardnn_fpga::chaidnn::{FpgaConfig, Precision};
 use guardnn_models::zoo;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let nets = zoo::table2_suite();
-    for (prec, label) in [(Precision::Bit8, "8-bit"), (Precision::Bit6, "6-bit")] {
-        println!("\nGuardNN_C ({label}) — throughput in fps (overhead % vs CHaiDNN baseline)\n");
-        let mut header = vec!["# DSPs".to_string()];
-        header.extend(nets.iter().map(|n| n.name().to_string()));
-        let mut table = Table::new(header);
-        for dsps in [128usize, 256, 512, 1024] {
-            let mut cells = vec![dsps.to_string()];
-            for net in &nets {
-                let row = FpgaConfig::new(dsps, prec).evaluate(net);
-                cells.push(format!(
-                    "{:.1} ({})",
-                    row.guardnn_fps,
-                    pct(row.overhead_percent())
-                ));
+    for target in select_targets(&args) {
+        announce_target(target);
+        for (prec, label) in [(Precision::Bit8, "8-bit"), (Precision::Bit6, "6-bit")] {
+            println!(
+                "\nGuardNN_C ({label}) — throughput in fps (overhead % vs CHaiDNN baseline)\n"
+            );
+            let mut header = vec!["# DSPs".to_string()];
+            header.extend(nets.iter().map(|n| n.name().to_string()));
+            let mut table = Table::new(header);
+            for dsps in [128usize, 256, 512, 1024] {
+                let mut cells = vec![dsps.to_string()];
+                for net in &nets {
+                    let cfg = FpgaConfig {
+                        dsps,
+                        ..FpgaConfig::from_target(target, prec)
+                    };
+                    let row = cfg.evaluate(net);
+                    cells.push(format!(
+                        "{:.1} ({})",
+                        row.guardnn_fps,
+                        pct(row.overhead_percent())
+                    ));
+                }
+                table.row(cells);
             }
-            table.row(cells);
+            table.print();
         }
-        table.print();
     }
     println!(
-        "\nPaper reference (8-bit, 128 DSPs): AlexNet 51.5 (+0.6), GoogleNet 22.1 (+0.4), \
-         ResNet 8.1 (+1.2), VGG 2.5 (+0.8); max overhead anywhere: 3.1%."
+        "\nPaper reference (guardnn-paper, 8-bit, 128 DSPs): AlexNet 51.5 (+0.6), \
+         GoogleNet 22.1 (+0.4), ResNet 8.1 (+1.2), VGG 2.5 (+0.8); max overhead anywhere: 3.1%."
     );
 }

@@ -4,20 +4,29 @@
 //! DELPHI/CrypTFLOW2 here — they are external systems, reproduced as
 //! reported constants).
 //!
-//! Run with `cargo run --release -p guardnn-bench --bin table3`.
+//! Run with
+//! `cargo run --release -p guardnn-bench --bin table3 -- [--target NAME]`
+//! (`--target` picks the hardware point from the registry, default
+//! `guardnn-paper`; with several selected targets only the first is used —
+//! Table III is a single-point comparison).
 
 use guardnn::perf::{evaluate, EvalConfig, Mode, Scheme};
-use guardnn_bench::{f, Table};
+use guardnn_bench::{f, select_targets, Table};
 use guardnn_fpga::chaidnn::{FpgaConfig, Precision};
 use guardnn_models::zoo;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let target = select_targets(&args)[0];
     let vgg = zoo::vgg16();
     let vgg_gops_per_frame = 2.0 * vgg.total_macs() as f64 / 1e9;
 
-    // GuardNN_CI on the TPU-v1-class simulator.
-    let cfg = EvalConfig::default();
-    eprintln!("simulating GuardNN_CI (VGG-16, TPU-v1 class)...");
+    // GuardNN_CI on the systolic-array simulator.
+    let cfg = EvalConfig::from_target(target);
+    eprintln!(
+        "simulating GuardNN_CI (VGG-16, {} target: {}x{} array)...",
+        target.name, target.array.rows, target.array.cols
+    );
     let np = evaluate(&vgg, Mode::Inference, Scheme::NoProtection, &cfg);
     let gci = evaluate(&vgg, Mode::Inference, Scheme::GuardNnCi, &cfg);
     let gci_fps = 1e9 / gci.exec_ns;
@@ -26,8 +35,8 @@ fn main() {
     let gci_power_w = 40.0; // paper's TPU-v1-based estimate
     let gci_eff = gci_gops / gci_power_w;
 
-    // GuardNN_C on the FPGA prototype model (512 DSPs, 8-bit).
-    let fpga = FpgaConfig::new(512, Precision::Bit8);
+    // GuardNN_C on the FPGA prototype model (the target's point, 8-bit).
+    let fpga = FpgaConfig::from_target(target, Precision::Bit8);
     let row = fpga.evaluate(&vgg);
     let fc_gops = row.guardnn_fps * vgg_gops_per_frame;
     let fc_overhead = row.baseline_fps / row.guardnn_fps;

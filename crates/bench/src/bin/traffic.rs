@@ -1,19 +1,28 @@
 //! Regenerates the §III-C **memory-traffic increase** numbers: BP adds
 //! 35.3% (inference) / 37.8% (training) while GuardNN_CI adds 2.4% / 2.3%.
 //!
-//! Run with `cargo run --release -p guardnn-bench --bin traffic`.
+//! Run with
+//! `cargo run --release -p guardnn-bench --bin traffic -- [--json] [--target NAME]... [--all-targets]`
+//! (`--target`/`--all-targets` pick the hardware points from the
+//! registry, default `guardnn-paper`).
 
 use guardnn::perf::{evaluate_batch, EvalConfig, EvalJob, Mode, Scheme};
 use guardnn_bench::json::run_summary_json;
-use guardnn_bench::{announce_pool, f, Table};
+use guardnn_bench::{announce_pool, announce_target, f, select_targets, Table};
 use guardnn_models::{zoo, Network};
 
 /// Traffic increase only needs the two protected schemes per network.
 const TRAFFIC_SCHEMES: [Scheme; 2] = [Scheme::GuardNnCi, Scheme::Baseline];
 
-fn run_suite(title: &str, nets: &[Network], mode: Mode, json: bool) -> (f64, f64) {
+fn run_suite(
+    title: &str,
+    target: &str,
+    cfg: &EvalConfig,
+    nets: &[Network],
+    mode: Mode,
+    json: bool,
+) -> (f64, f64) {
     println!("\nMemory-traffic increase — {title} (% over data traffic)\n");
-    let cfg = EvalConfig::default();
     let jobs: Vec<EvalJob<'_>> = nets
         .iter()
         .flat_map(|network| {
@@ -21,7 +30,7 @@ fn run_suite(title: &str, nets: &[Network], mode: Mode, json: bool) -> (f64, f64
                 network,
                 mode,
                 scheme,
-                cfg,
+                cfg: *cfg,
             })
         })
         .collect();
@@ -34,8 +43,14 @@ fn run_suite(title: &str, nets: &[Network], mode: Mode, json: bool) -> (f64, f64
             unreachable!()
         };
         if json {
-            println!("{}", run_summary_json(net.name(), title, gci_run).render());
-            println!("{}", run_summary_json(net.name(), title, bp_run).render());
+            for run in [gci_run, bp_run] {
+                println!(
+                    "{}",
+                    run_summary_json(net.name(), title, run)
+                        .field("target", target)
+                        .render()
+                );
+            }
         }
         let gci = gci_run.traffic_increase() * 100.0;
         let bp = bp_run.traffic_increase() * 100.0;
@@ -54,22 +69,32 @@ fn run_suite(title: &str, nets: &[Network], mode: Mode, json: bool) -> (f64, f64
 }
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
-    let (gci_inf, bp_inf) = run_suite(
-        "inference",
-        &zoo::figure3_inference_suite(),
-        Mode::Inference,
-        json,
-    );
-    let (gci_tr, bp_tr) = run_suite(
-        "training",
-        &zoo::figure3_training_suite(),
-        Mode::Training { batch: 4 },
-        json,
-    );
-    println!("\nPaper reference: BP +35.3% (inference) / +37.8% (training);");
-    println!("                 GuardNN_CI +2.4% (inference) / +2.3% (training).");
-    println!(
-        "\nMeasured:        BP +{bp_inf:.1}% / +{bp_tr:.1}%; GuardNN_CI +{gci_inf:.1}% / +{gci_tr:.1}%."
-    );
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    for target in select_targets(&args) {
+        announce_target(target);
+        let cfg = EvalConfig::from_target(target);
+        let (gci_inf, bp_inf) = run_suite(
+            "inference",
+            &target.name,
+            &cfg,
+            &zoo::figure3_inference_suite(),
+            Mode::Inference,
+            json,
+        );
+        let (gci_tr, bp_tr) = run_suite(
+            "training",
+            &target.name,
+            &cfg,
+            &zoo::figure3_training_suite(),
+            Mode::Training { batch: 4 },
+            json,
+        );
+        println!(
+            "\nMeasured on {}: BP +{bp_inf:.1}% / +{bp_tr:.1}%; GuardNN_CI +{gci_inf:.1}% / +{gci_tr:.1}%.",
+            target.name
+        );
+    }
+    println!("\nPaper reference (guardnn-paper): BP +35.3% (inference) / +37.8% (training);");
+    println!("                                 GuardNN_CI +2.4% (inference) / +2.3% (training).");
 }

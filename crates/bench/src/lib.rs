@@ -78,6 +78,68 @@ pub fn pct(v: f64) -> String {
     format!("{v:+.1}")
 }
 
+/// Flags whose following argument is a value, not a positional — shared
+/// by every binary's positional-argument scanner.
+pub const VALUE_FLAGS: &[&str] = &["--bench-out", "--target"];
+
+/// The first positional (non-`--`) argument, skipping values consumed by
+/// [`VALUE_FLAGS`].
+pub fn positional(args: &[String]) -> Option<String> {
+    args.iter()
+        .enumerate()
+        .find(|(i, a)| {
+            !a.starts_with("--") && (*i == 0 || !VALUE_FLAGS.contains(&args[i - 1].as_str()))
+        })
+        .map(|(_, a)| a.clone())
+}
+
+/// Resolves the `--target NAME` (repeatable) and `--all-targets` flags
+/// into the hardware targets to evaluate. No flag selects `guardnn-paper`
+/// — the paper's evaluation point, bit-identical to the pre-registry
+/// hard-coded defaults. Unknown names list the registry and exit(2).
+pub fn select_targets(args: &[String]) -> Vec<&'static guardnn_targets::HardwareTarget> {
+    if args.iter().any(|a| a == "--all-targets") {
+        return guardnn_targets::builtin_targets().iter().collect();
+    }
+    let mut targets: Vec<&'static guardnn_targets::HardwareTarget> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--target" {
+            let Some(name) = args.get(i + 1) else {
+                eprintln!(
+                    "--target needs a name (one of: {})",
+                    guardnn_targets::names().join(", ")
+                );
+                std::process::exit(2);
+            };
+            match guardnn_targets::get(name) {
+                Ok(t) => {
+                    if !targets.iter().any(|x| x.name == t.name) {
+                        targets.push(t);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    if targets.is_empty() {
+        targets.push(guardnn_targets::get("guardnn-paper").expect("registry has the paper target"));
+    }
+    targets
+}
+
+/// Prints the standard banner line announcing which hardware target the
+/// following results belong to.
+pub fn announce_target(t: &guardnn_targets::HardwareTarget) {
+    println!("\n== target {}: {} ==", t.name, t.description);
+}
+
 /// Prints the standard progress line for a worker-pool batch: the pool is
 /// sized by [`guardnn::perf::Parallelism::workers_for`], so the count matches the threads
 /// actually spawned.
@@ -117,5 +179,39 @@ mod tests {
         assert_eq!(f(1.23456, 2), "1.23");
         assert_eq!(pct(0.63), "+0.6");
         assert_eq!(pct(-1.25), "-1.2");
+    }
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn target_selection_defaults_to_paper() {
+        let sel = select_targets(&strings(&["smoke", "--json"]));
+        assert_eq!(sel.len(), 1);
+        assert_eq!(sel[0].name, "guardnn-paper");
+    }
+
+    #[test]
+    fn target_selection_all_and_named() {
+        let all = select_targets(&strings(&["--all-targets"]));
+        assert_eq!(all.len(), guardnn_targets::builtin_targets().len());
+        let named = select_targets(&strings(&[
+            "--target",
+            "hbm-wide",
+            "--target",
+            "edge-32x32",
+            "--target",
+            "hbm-wide",
+        ]));
+        let names: Vec<&str> = named.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, ["hbm-wide", "edge-32x32"], "dedup preserves order");
+    }
+
+    #[test]
+    fn positional_skips_value_flags() {
+        let args = strings(&["--bench-out", "x.json", "--target", "hbm-wide", "smoke"]);
+        assert_eq!(positional(&args).as_deref(), Some("smoke"));
+        assert_eq!(positional(&strings(&["--target", "hbm-wide"])), None);
     }
 }

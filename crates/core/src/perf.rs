@@ -220,6 +220,28 @@ impl Default for EvalConfig {
     }
 }
 
+impl EvalConfig {
+    /// Builds the configuration for a hardware target description: the
+    /// array and DRAM system come from the target, while the protection
+    /// parameters and execution knobs (parallelism, channel mode) keep
+    /// their defaults — they describe the *evaluation*, not the hardware.
+    pub fn from_target(target: &guardnn_targets::HardwareTarget) -> Self {
+        Self {
+            array: ArrayConfig::from_target(target),
+            dram: DramConfig::from_target(target),
+            ..Self::default()
+        }
+    }
+
+    /// Looks `name` up in the built-in target registry and builds its
+    /// configuration. The `guardnn-paper` target reproduces
+    /// [`EvalConfig::default`] bit-for-bit (pinned by the differential
+    /// test suite).
+    pub fn for_target(name: &str) -> Result<Self, guardnn_targets::TargetError> {
+        Ok(Self::from_target(guardnn_targets::get(name)?))
+    }
+}
+
 /// Builds the execution plan for `network` under `mode`.
 pub fn plan_for(network: &Network, mode: Mode) -> ExecutionPlan {
     match mode {

@@ -1,4 +1,25 @@
 //! DRAM geometry and timing configuration.
+//!
+//! Configurations come from two places: the hard-coded paper defaults
+//! ([`DramConfig::ddr4_2400_16gb`]) and the declarative hardware target
+//! registry (`guardnn-targets`), which turns a speed bin + geometry file
+//! into the same struct:
+//!
+//! ```
+//! use guardnn_dram::DramConfig;
+//!
+//! let target = guardnn_targets::get("ddr4-3200").unwrap();
+//! let cfg = DramConfig::from_target(target);
+//! assert_eq!(cfg.clock_mhz, 1600);
+//! assert_eq!(cfg.timing.cl, 22);
+//!
+//! // The registry's `guardnn-paper` target reproduces the hard-coded
+//! // defaults exactly.
+//! let paper = DramConfig::from_target(guardnn_targets::get("guardnn-paper").unwrap());
+//! assert_eq!(paper, DramConfig::ddr4_2400_16gb());
+//! ```
+
+use guardnn_targets::HardwareTarget;
 
 /// DDR4 core timing parameters, in memory-clock cycles.
 ///
@@ -57,6 +78,27 @@ impl DdrTiming {
         }
     }
 
+    /// Constructs the timing set from a hardware target's speed bin.
+    pub fn from_target(t: &HardwareTarget) -> Self {
+        let s = &t.dram.timing;
+        Self {
+            cl: s.cl,
+            rcd: s.rcd,
+            rp: s.rp,
+            ras: s.ras,
+            ccd_l: s.ccd_l,
+            ccd_s: s.ccd_s,
+            rrd: s.rrd,
+            faw: s.faw,
+            wr: s.wr,
+            wtr: s.wtr,
+            rtw: s.rtw,
+            rfc: s.rfc,
+            refi: s.refi,
+            bl: s.bl,
+        }
+    }
+
     /// Data-bus occupancy of one burst, in clock cycles (double data rate).
     pub fn burst_cycles(&self) -> u64 {
         self.bl / 2
@@ -102,6 +144,23 @@ impl DramConfig {
         }
     }
 
+    /// Constructs the full system configuration from a hardware target's
+    /// DRAM geometry and speed bin.
+    pub fn from_target(t: &HardwareTarget) -> Self {
+        let d = &t.dram;
+        Self {
+            channels: d.channels as usize,
+            ranks: d.ranks as usize,
+            bank_groups: d.bank_groups as usize,
+            banks_per_group: d.banks_per_group as usize,
+            row_bytes: d.row_bytes,
+            access_bytes: d.access_bytes,
+            clock_mhz: d.clock_mhz,
+            timing: DdrTiming::from_target(t),
+            sched_window: d.sched_window as usize,
+        }
+    }
+
     /// A single-channel variant for unit tests (fewer moving parts).
     pub fn test_single_channel() -> Self {
         Self {
@@ -117,9 +176,14 @@ impl DramConfig {
     }
 
     /// Peak bandwidth in bytes per memory-clock cycle (all channels).
+    ///
+    /// Derived from the access granule and burst length: one burst moves
+    /// `access_bytes` in `bl` beats at double data rate, so the bus is
+    /// `access_bytes / bl` bytes wide and moves twice that per clock. For
+    /// DDR4 (64 B in BL8 on a 64-bit bus) this is the classic 16 B/clock;
+    /// an HBM-class target with BL4 models a 128-bit bus honestly.
     pub fn peak_bytes_per_cycle(&self) -> f64 {
-        // 64-bit bus, double data rate → 16 B per clock per channel.
-        16.0 * self.channels as f64
+        (self.access_bytes as f64 / self.timing.bl as f64) * 2.0 * self.channels as f64
     }
 
     /// Peak bandwidth in GB/s.
@@ -149,5 +213,22 @@ mod tests {
     fn bank_count() {
         let cfg = DramConfig::ddr4_2400_16gb();
         assert_eq!(cfg.banks_per_channel(), 2 * 4 * 4);
+    }
+
+    #[test]
+    fn peak_bandwidth_is_derived_from_burst_shape() {
+        // DDR4: 64 B / BL8 → 8 B bus → 16 B/clock/channel (unchanged).
+        let ddr4 = DramConfig::ddr4_2400_16gb();
+        assert_eq!(ddr4.peak_bytes_per_cycle(), 16.0 * ddr4.channels as f64);
+        // HBM-class: 64 B / BL4 → 16 B bus → 32 B/clock/channel.
+        let hbm = DramConfig::from_target(guardnn_targets::get("hbm-wide").unwrap());
+        assert_eq!(hbm.peak_bytes_per_cycle(), 32.0 * hbm.channels as f64);
+    }
+
+    #[test]
+    fn paper_target_matches_hardcoded_defaults() {
+        let t = guardnn_targets::get("guardnn-paper").unwrap();
+        assert_eq!(DdrTiming::from_target(t), DdrTiming::ddr4_2400());
+        assert_eq!(DramConfig::from_target(t), DramConfig::ddr4_2400_16gb());
     }
 }

@@ -12,6 +12,7 @@
 //! Table II's shape: sub-3.5% overhead, worst for layer-rich ResNet.
 
 use guardnn_models::Network;
+use guardnn_targets::HardwareTarget;
 
 /// Fixed-point precision of weights and features.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -90,6 +91,23 @@ impl FpgaConfig {
             mem_bw_gbps: 9.6,
             aes_engines: 3,
             layer_overhead_s: 10e-6,
+        }
+    }
+
+    /// Creates the prototype configuration for a hardware target
+    /// (precision stays a per-cell knob, as in Table II). Sweep DSP counts
+    /// with struct update syntax:
+    /// `FpgaConfig { dsps, ..FpgaConfig::from_target(t, precision) }`.
+    pub fn from_target(t: &HardwareTarget, precision: Precision) -> Self {
+        let f = &t.fpga;
+        Self {
+            dsps: f.dsps as usize,
+            precision,
+            clock_mhz: f.clock_mhz,
+            compute_efficiency: f.compute_efficiency,
+            mem_bw_gbps: f.mem_bw_gbps,
+            aes_engines: f.aes_engines as usize,
+            layer_overhead_s: f.layer_overhead_us / 1e6,
         }
     }
 
@@ -222,6 +240,19 @@ mod tests {
         let o3 = three.evaluate(&net).overhead_percent();
         let o4 = four.evaluate(&net).overhead_percent();
         assert!(o4 < o3, "4 engines {o4}% vs 3 engines {o3}%");
+    }
+
+    #[test]
+    fn paper_target_matches_hardcoded_prototype() {
+        let t = guardnn_targets::get("guardnn-paper").unwrap();
+        let from_target = FpgaConfig::from_target(t, Precision::Bit8);
+        let hardcoded = FpgaConfig::new(512, Precision::Bit8);
+        assert_eq!(from_target.dsps, hardcoded.dsps);
+        assert_eq!(from_target.clock_mhz, hardcoded.clock_mhz);
+        assert_eq!(from_target.compute_efficiency, hardcoded.compute_efficiency);
+        assert_eq!(from_target.mem_bw_gbps, hardcoded.mem_bw_gbps);
+        assert_eq!(from_target.aes_engines, hardcoded.aes_engines);
+        assert_eq!(from_target.layer_overhead_s, hardcoded.layer_overhead_s);
     }
 
     #[test]

@@ -5,6 +5,26 @@
 //! uses 2.7K LUTs (2.5%), 2.2K FFs (1.9%), 64 BRAMs (11.0%) and 6 DSPs
 //! (0.9%). This module derives the implied base-design footprint and
 //! produces the overhead table for any number of AES engines.
+//!
+//! Resource tables can also come from the hardware target registry
+//! (`guardnn-targets`), where each target carries its own AES-core and
+//! microcontroller measurements plus the anchored base-design fractions:
+//!
+//! ```
+//! use guardnn_fpga::resources::Resources;
+//!
+//! let target = guardnn_targets::get("guardnn-paper").unwrap();
+//! let aes = Resources::aes_core_for(target);
+//! let base = Resources::base_design_for(target);
+//! let ovh = aes.overhead_percent(&base);
+//! assert!((8.1..8.3).contains(&ovh.luts)); // the paper's 8.2%
+//!
+//! // Identical to the hard-coded paper constants.
+//! assert_eq!(aes, Resources::aes_core());
+//! assert_eq!(base, Resources::chaidnn_512_base());
+//! ```
+
+use guardnn_targets::HardwareTarget;
 
 /// Resource usage of one block.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -50,6 +70,42 @@ impl Resources {
             ffs: 3_000.0 / 0.026,
             brams: 64.0 / 0.110,
             dsps: 6.0 / 0.009,
+        }
+    }
+
+    /// One AES-128 core as measured on a hardware target.
+    pub fn aes_core_for(t: &HardwareTarget) -> Self {
+        let r = &t.fpga.aes_core;
+        Self {
+            luts: r.luts,
+            ffs: r.ffs,
+            brams: r.brams,
+            dsps: r.dsps,
+        }
+    }
+
+    /// The microcontroller as measured on a hardware target.
+    pub fn microblaze_for(t: &HardwareTarget) -> Self {
+        let r = &t.fpga.microblaze;
+        Self {
+            luts: r.luts,
+            ffs: r.ffs,
+            brams: r.brams,
+            dsps: r.dsps,
+        }
+    }
+
+    /// The base design implied by a hardware target's anchored overhead
+    /// fractions — the same derivation as [`Resources::chaidnn_512_base`]
+    /// (AES core anchors logic, microcontroller anchors BRAM/DSP), driven
+    /// by the target file instead of hard-coded percentages.
+    pub fn base_design_for(t: &HardwareTarget) -> Self {
+        let b = &t.fpga.base_design;
+        Self {
+            luts: t.fpga.aes_core.luts / b.aes_lut_fraction,
+            ffs: t.fpga.aes_core.ffs / b.aes_ff_fraction,
+            brams: t.fpga.microblaze.brams / b.microblaze_bram_fraction,
+            dsps: t.fpga.microblaze.dsps / b.microblaze_dsp_fraction,
         }
     }
 
@@ -99,6 +155,14 @@ pub fn guardnn_addition(aes_engines: usize) -> Resources {
         .plus(&Resources::microblaze())
 }
 
+/// The full GuardNN addition on a hardware target, using the target's own
+/// AES engine count and per-block measurements.
+pub fn guardnn_addition_for(t: &HardwareTarget) -> Resources {
+    Resources::aes_core_for(t)
+        .times(t.fpga.aes_engines as f64)
+        .plus(&Resources::microblaze_for(t))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +189,15 @@ mod tests {
         // 3 AES cores + MicroBlaze ≈ 27% LUTs — the dominant cost, as the
         // paper discusses (AES engines are the main area adder).
         assert!((20.0..35.0).contains(&total.luts), "got {}", total.luts);
+    }
+
+    #[test]
+    fn paper_target_matches_hardcoded_tables() {
+        let t = guardnn_targets::get("guardnn-paper").unwrap();
+        assert_eq!(Resources::aes_core_for(t), Resources::aes_core());
+        assert_eq!(Resources::microblaze_for(t), Resources::microblaze());
+        assert_eq!(Resources::base_design_for(t), Resources::chaidnn_512_base());
+        assert_eq!(guardnn_addition_for(t), guardnn_addition(3));
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Systolic array configuration.
 
+use guardnn_targets::{DataflowSpec, HardwareTarget};
+
 /// Mapping strategy of the GEMM loops onto the array (SCALE-Sim's three
 /// canonical dataflows).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -47,6 +49,29 @@ impl ArrayConfig {
             sram_out_bytes: 4 << 20,
             bytes_per_elem: 1,
             clock_mhz: 700,
+        }
+    }
+
+    /// Constructs the geometry from a hardware target description.
+    ///
+    /// `bytes_per_elem` is a *workload* property (int8 inference vs bf16
+    /// training), not a hardware one, so it starts at 1 and the evaluation
+    /// mode overrides it — exactly as it does with [`ArrayConfig::tpu_v1`].
+    pub fn from_target(t: &HardwareTarget) -> Self {
+        let a = &t.array;
+        Self {
+            rows: a.rows as usize,
+            cols: a.cols as usize,
+            dataflow: match a.dataflow {
+                DataflowSpec::WeightStationary => Dataflow::WeightStationary,
+                DataflowSpec::OutputStationary => Dataflow::OutputStationary,
+                DataflowSpec::InputStationary => Dataflow::InputStationary,
+            },
+            sram_act_bytes: a.sram_act_bytes,
+            sram_wgt_bytes: a.sram_wgt_bytes,
+            sram_out_bytes: a.sram_out_bytes,
+            bytes_per_elem: 1,
+            clock_mhz: a.clock_mhz,
         }
     }
 
@@ -101,5 +126,17 @@ mod tests {
     #[test]
     fn default_is_tpu() {
         assert_eq!(ArrayConfig::default(), ArrayConfig::tpu_v1());
+    }
+
+    #[test]
+    fn paper_target_matches_tpu_v1() {
+        let t = guardnn_targets::get("guardnn-paper").unwrap();
+        assert_eq!(ArrayConfig::from_target(t), ArrayConfig::tpu_v1());
+    }
+
+    #[test]
+    fn edge_target_geometry() {
+        let cfg = ArrayConfig::from_target(guardnn_targets::get("edge-32x32").unwrap());
+        assert_eq!((cfg.rows, cfg.cols, cfg.clock_mhz), (32, 32, 400));
     }
 }

@@ -1,0 +1,260 @@
+//! `target-gen` — inspect the built-in registry and emit new hardware
+//! target descriptions from CLI-specified speed-grade/geometry knobs.
+//!
+//! ```text
+//! target-gen list
+//! target-gen show guardnn-paper
+//! target-gen validate [FILE ...]       # no files: validate the registry
+//! target-gen new --name my-point [--base guardnn-paper] [KNOBS] [--out FILE]
+//! ```
+//!
+//! `new` starts from a base target and rescales the DDR4 core timings in
+//! *nanoseconds* when the memory clock changes (round-to-nearest cycles,
+//! floor 1), which is how real speed bins relate: tRCD is a property of
+//! the DRAM cell array, not the bus clock.
+
+use guardnn_targets::{builtin_targets, get, HardwareTarget};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: target-gen <command>\n\
+         \n\
+         commands:\n\
+         \x20 list                          registered targets, one per line\n\
+         \x20 show NAME                     print a registered target's description\n\
+         \x20 validate [FILE ...]           parse+validate files (default: the registry)\n\
+         \x20 new --name NAME [OPTIONS]     derive a new description\n\
+         \n\
+         new options:\n\
+         \x20 --base NAME              starting point (default guardnn-paper)\n\
+         \x20 --description TEXT       one-line description\n\
+         \x20 --dram-clock-mhz N       memory clock; core timings rescale in ns\n\
+         \x20 --channels N  --ranks N  --row-bytes N   DRAM geometry\n\
+         \x20 --rows N  --cols N  --array-clock-mhz N  systolic geometry\n\
+         \x20 --dsps N  --aes-engines N --mem-bw-gbps X  FPGA point\n\
+         \x20 --out FILE               write to FILE instead of stdout"
+    );
+    ExitCode::from(2)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("target-gen: {msg}");
+    ExitCode::FAILURE
+}
+
+/// Rescales one timing parameter from `old_clock` to `new_clock` keeping
+/// its duration in nanoseconds constant (round to nearest, at least 1).
+fn rescale(cycles: u64, old_clock: u64, new_clock: u64) -> u64 {
+    ((cycles as u128 * new_clock as u128 + old_clock as u128 / 2) / old_clock as u128).max(1) as u64
+}
+
+fn apply_dram_clock(t: &mut HardwareTarget, new_clock: u64) {
+    let old_clock = t.dram.clock_mhz;
+    if old_clock == new_clock {
+        return;
+    }
+    let tm = &mut t.dram.timing;
+    for field in [
+        &mut tm.cl,
+        &mut tm.rcd,
+        &mut tm.rp,
+        &mut tm.ras,
+        &mut tm.ccd_l,
+        &mut tm.ccd_s,
+        &mut tm.rrd,
+        &mut tm.faw,
+        &mut tm.wr,
+        &mut tm.wtr,
+        &mut tm.rtw,
+        &mut tm.rfc,
+        &mut tm.refi,
+    ] {
+        *field = rescale(*field, old_clock, new_clock);
+    }
+    // ccd_s must not exceed ccd_l after independent rounding.
+    tm.ccd_s = tm.ccd_s.min(tm.ccd_l);
+    t.dram.clock_mhz = new_clock;
+}
+
+fn cmd_new(args: &[String]) -> Result<(), String> {
+    let mut name = None;
+    let mut base = "guardnn-paper".to_string();
+    let mut description = None;
+    let mut out = None;
+    let mut dram_clock = None;
+    let mut u64_knobs: Vec<(&'static str, u64)> = Vec::new();
+    let mut mem_bw = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--name" => name = Some(value()?),
+            "--base" => base = value()?,
+            "--description" => description = Some(value()?),
+            "--out" => out = Some(value()?),
+            "--mem-bw-gbps" => {
+                mem_bw = Some(
+                    value()?
+                        .parse::<f64>()
+                        .map_err(|_| format!("{flag}: expected a number"))?,
+                )
+            }
+            "--dram-clock-mhz" | "--channels" | "--ranks" | "--row-bytes" | "--rows" | "--cols"
+            | "--array-clock-mhz" | "--dsps" | "--aes-engines" => {
+                let raw = value()?;
+                let v: u64 = raw
+                    .parse()
+                    .map_err(|_| format!("{flag}: expected an unsigned integer, got {raw:?}"))?;
+                match flag.as_str() {
+                    "--dram-clock-mhz" => dram_clock = Some(v),
+                    "--channels" => u64_knobs.push(("channels", v)),
+                    "--ranks" => u64_knobs.push(("ranks", v)),
+                    "--row-bytes" => u64_knobs.push(("row_bytes", v)),
+                    "--rows" => u64_knobs.push(("rows", v)),
+                    "--cols" => u64_knobs.push(("cols", v)),
+                    "--array-clock-mhz" => u64_knobs.push(("array_clock", v)),
+                    "--dsps" => u64_knobs.push(("dsps", v)),
+                    "--aes-engines" => u64_knobs.push(("aes_engines", v)),
+                    _ => unreachable!(),
+                }
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    let name = name.ok_or("--name is required")?;
+    let mut target = get(&base).map_err(|e| e.to_string())?.clone();
+    target.name = name;
+    target.description = description.unwrap_or_else(|| format!("Derived from {base}"));
+    if let Some(clock) = dram_clock {
+        apply_dram_clock(&mut target, clock);
+    }
+    for (knob, v) in u64_knobs {
+        match knob {
+            "channels" => target.dram.channels = v,
+            "ranks" => target.dram.ranks = v,
+            "row_bytes" => target.dram.row_bytes = v,
+            "rows" => target.array.rows = v,
+            "cols" => target.array.cols = v,
+            "array_clock" => target.array.clock_mhz = v,
+            "dsps" => target.fpga.dsps = v,
+            "aes_engines" => target.fpga.aes_engines = v,
+            _ => unreachable!(),
+        }
+    }
+    if let Some(bw) = mem_bw {
+        target.fpga.mem_bw_gbps = bw;
+    }
+    target.validate().map_err(|e| e.to_string())?;
+    let rendered = target.to_yaml();
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &rendered).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    match command.as_str() {
+        "list" => {
+            for t in builtin_targets() {
+                println!("{:<16} {}", t.name, t.description);
+            }
+            ExitCode::SUCCESS
+        }
+        "show" => {
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
+            match get(name) {
+                Ok(t) => {
+                    print!("{}", t.to_yaml());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(e),
+            }
+        }
+        "validate" => {
+            let files = &args[1..];
+            if files.is_empty() {
+                for t in builtin_targets() {
+                    if let Err(e) = t.validate() {
+                        return fail(format!("{}: {e}", t.name));
+                    }
+                    // Re-parse the serialization too: a registry target
+                    // that cannot round-trip is as broken as one that
+                    // cannot parse.
+                    match HardwareTarget::parse(&t.to_yaml()) {
+                        Ok(again) if again == *t => {}
+                        Ok(_) => return fail(format!("{}: round-trip drifted", t.name)),
+                        Err(e) => return fail(format!("{}: round-trip: {e}", t.name)),
+                    }
+                    println!("ok: {} (registry)", t.name);
+                }
+                return ExitCode::SUCCESS;
+            }
+            for path in files {
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => return fail(format!("{path}: {e}")),
+                };
+                match HardwareTarget::parse(&text) {
+                    Ok(t) => println!("ok: {} ({path})", t.name),
+                    Err(e) => return fail(format!("{path}: {e}")),
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "new" => match cmd_new(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => fail(msg),
+        },
+        _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guardnn_targets::TargetError;
+
+    #[test]
+    fn rescale_keeps_ns_constant() {
+        // DDR4-2400 CL17 @ 1200 MHz is 14.17 ns; at 1600 MHz that is
+        // 22.67 cycles -> 23? No: 17 * 1600 / 1200 = 22.67, rounds to 23.
+        assert_eq!(rescale(17, 1200, 1600), 23);
+        assert_eq!(rescale(17, 1200, 1066), 15);
+        assert_eq!(rescale(420, 1200, 1066), 373);
+        assert_eq!(rescale(1, 1200, 300), 1, "floor at 1 cycle");
+        assert_eq!(rescale(9360, 1200, 1200), 9360, "identity");
+    }
+
+    #[test]
+    fn derived_target_validates_and_round_trips() {
+        let mut t = get("guardnn-paper").unwrap().clone();
+        t.name = "derived-2666".into();
+        apply_dram_clock(&mut t, 1333);
+        t.validate().unwrap();
+        let again = HardwareTarget::parse(&t.to_yaml()).unwrap();
+        assert_eq!(again, t);
+        assert_eq!(again.dram.timing.cl, rescale(17, 1200, 1333));
+    }
+
+    #[test]
+    fn unknown_base_is_a_typed_error() {
+        let err = get("nope").unwrap_err();
+        assert!(matches!(err, TargetError::UnknownTarget { .. }));
+    }
+}

@@ -1,0 +1,95 @@
+//! Declarative hardware target descriptions for the GuardNN evaluation.
+//!
+//! The paper's claim is that VN-generated memory protection stays cheap
+//! *across hardware points*, so a hardware point must be a config file,
+//! not a code change. This crate defines the [`HardwareTarget`]
+//! description — DRAM geometry plus a full DDR4 speed bin, the systolic
+//! array shape/SRAM/clock, the MicroBlaze firmware latency profile, and
+//! the CHaiDNN FPGA resource table — a hand-rolled [`yaml`]-subset text
+//! format for it (the build is offline; no registry crates), and the
+//! built-in [`registry`] embedding `targets/*.yaml` via `include_str!`.
+//!
+//! The crate is a dependency *leaf*: `guardnn-dram`, `guardnn-systolic`,
+//! `guardnn-fpga`, and `guardnn` all depend on it (each exposing
+//! `from_target` constructors), never the other way around.
+//!
+//! ```
+//! let target = guardnn_targets::get("guardnn-paper").unwrap();
+//! assert_eq!(target.dram.clock_mhz, 1200); // DDR4-2400
+//! assert_eq!((target.array.rows, target.array.cols), (256, 256));
+//! // Round-trip: serialization re-parses to the identical description.
+//! let again = guardnn_targets::HardwareTarget::parse(&target.to_yaml()).unwrap();
+//! assert_eq!(again, *target);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod target;
+pub mod yaml;
+
+pub use registry::{builtin_targets, get, names};
+pub use target::{
+    ArraySpec, BaseDesignSpec, DataflowSpec, DramSpec, FpgaSpec, HardwareTarget, MicroblazeSpec,
+    ResourceSpec, TimingSpec,
+};
+
+/// Everything that can go wrong loading a target description. Malformed
+/// input is a typed error, never a panic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TargetError {
+    /// The text is outside the supported YAML subset or malformed.
+    Syntax {
+        /// 1-based source line (0 when no line applies).
+        line: usize,
+        /// What was wrong.
+        msg: String,
+    },
+    /// A field the schema requires is absent.
+    MissingField {
+        /// Dotted path of the missing field (`dram.timing.cl`).
+        path: String,
+    },
+    /// A field is present but unusable (wrong type, out of range,
+    /// unknown key).
+    Invalid {
+        /// Dotted path of the offending field.
+        path: String,
+        /// What was wrong.
+        msg: String,
+    },
+    /// The requested name is not in the registry.
+    UnknownTarget {
+        /// The name that failed to resolve.
+        name: String,
+        /// Every name the registry does know.
+        known: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for TargetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TargetError::Syntax { line, msg } => {
+                if *line == 0 {
+                    write!(f, "syntax error: {msg}")
+                } else {
+                    write!(f, "syntax error at line {line}: {msg}")
+                }
+            }
+            TargetError::MissingField { path } => write!(f, "missing field `{path}`"),
+            TargetError::Invalid { path, msg } => {
+                if path.is_empty() {
+                    write!(f, "invalid document: {msg}")
+                } else {
+                    write!(f, "invalid field `{path}`: {msg}")
+                }
+            }
+            TargetError::UnknownTarget { name, known } => {
+                write!(f, "unknown target {name:?} (known: {})", known.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for TargetError {}

@@ -1,0 +1,117 @@
+//! The built-in target registry.
+//!
+//! Every description under `crates/targets/targets/*.yaml` is embedded at
+//! compile time via `include_str!` and parsed once on first access
+//! (`std::sync::OnceLock`), so lookups are cheap and a malformed embedded
+//! file fails every test rather than one code path. Adding a hardware
+//! point is: drop a file in `targets/`, add one line to `EMBEDDED`.
+
+use crate::{HardwareTarget, TargetError};
+use std::sync::OnceLock;
+
+/// The embedded source files, in presentation order (`guardnn-paper`
+/// first — it is the reference point the differential test pins).
+const EMBEDDED: &[(&str, &str)] = &[
+    (
+        "guardnn-paper",
+        include_str!("../targets/guardnn-paper.yaml"),
+    ),
+    ("ddr4-2133", include_str!("../targets/ddr4-2133.yaml")),
+    ("ddr4-3200", include_str!("../targets/ddr4-3200.yaml")),
+    ("edge-32x32", include_str!("../targets/edge-32x32.yaml")),
+    ("hbm-wide", include_str!("../targets/hbm-wide.yaml")),
+];
+
+fn parsed() -> &'static [HardwareTarget] {
+    static CACHE: OnceLock<Vec<HardwareTarget>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        EMBEDDED
+            .iter()
+            .map(|(name, src)| {
+                let target = HardwareTarget::parse(src)
+                    .unwrap_or_else(|e| panic!("embedded target {name:?} is malformed: {e}"));
+                assert_eq!(
+                    target.name, *name,
+                    "embedded target file name and `name:` field disagree"
+                );
+                target
+            })
+            .collect()
+    })
+}
+
+/// All built-in targets, `guardnn-paper` first.
+pub fn builtin_targets() -> &'static [HardwareTarget] {
+    parsed()
+}
+
+/// The registered names, in registry order.
+pub fn names() -> Vec<&'static str> {
+    parsed().iter().map(|t| t.name.as_str()).collect()
+}
+
+/// Looks a target up by name. Unknown names come back as
+/// [`TargetError::UnknownTarget`] listing every valid name.
+pub fn get(name: &str) -> Result<&'static HardwareTarget, TargetError> {
+    parsed()
+        .iter()
+        .find(|t| t.name == name)
+        .ok_or_else(|| TargetError::UnknownTarget {
+            name: name.to_string(),
+            known: names().iter().map(|s| s.to_string()).collect(),
+        })
+}
+
+/// The raw embedded source of a registered target (for `target-gen show`
+/// and the round-trip test).
+pub fn source(name: &str) -> Option<&'static str> {
+    EMBEDDED
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, src)| *src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_embedded_file_parses_and_validates() {
+        let targets = builtin_targets();
+        assert_eq!(targets.len(), EMBEDDED.len());
+        for t in targets {
+            t.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn registry_round_trips_every_target() {
+        for t in builtin_targets() {
+            let rendered = t.to_yaml();
+            let reparsed = HardwareTarget::parse(&rendered)
+                .unwrap_or_else(|e| panic!("{}: re-parse failed: {e}", t.name));
+            assert_eq!(&reparsed, t, "{} round-trip drifted", t.name);
+        }
+    }
+
+    #[test]
+    fn lookup_and_unknown_name() {
+        assert_eq!(get("guardnn-paper").unwrap().dram.timing.cl, 17);
+        let err = get("ddr5-think-different").unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("unknown target") && msg.contains("guardnn-paper"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn names_are_unique_and_ordered() {
+        let names = names();
+        assert_eq!(names[0], "guardnn-paper");
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate registry names");
+    }
+}

@@ -1,0 +1,421 @@
+//! Hand-rolled parser for the YAML subset the target descriptions use.
+//!
+//! The build environment is offline (no registry crates — see
+//! `crates/shims/README.md` for the precedent), so this module implements
+//! exactly the slice of YAML the `targets/*.yaml` files need and nothing
+//! more:
+//!
+//! * nested mappings by two-space indentation,
+//! * scalar values (`key: value`),
+//! * full-line `#` comments and blank lines.
+//!
+//! Sequences, anchors, tags, flow collections, and multi-line scalars are
+//! out of scope; a file using them is rejected with a typed
+//! [`TargetError::Syntax`] instead of being misparsed. Duplicate keys are
+//! rejected too — a target file where `cl:` appears twice is a bug, not a
+//! last-writer-wins situation.
+
+use crate::TargetError;
+
+/// A parsed YAML value: either a scalar (kept verbatim as text; numeric
+/// interpretation happens at typed extraction) or a nested mapping with
+/// insertion-ordered keys.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A scalar leaf, stored as the raw (trimmed) text.
+    Scalar(String),
+    /// A nested mapping.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks a key up in a mapping. `None` for scalars and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            Value::Scalar(_) => None,
+        }
+    }
+}
+
+/// One significant line: source line number, indentation, `key`, and the
+/// scalar remainder (if any).
+struct Line {
+    number: usize,
+    indent: usize,
+    key: String,
+    value: Option<String>,
+}
+
+fn syntax(line: usize, msg: impl Into<String>) -> TargetError {
+    TargetError::Syntax {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Splits the input into significant lines, rejecting constructs outside
+/// the subset (tabs, sequences, flow collections).
+fn scan(input: &str) -> Result<Vec<Line>, TargetError> {
+    let mut lines = Vec::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let number = idx + 1;
+        if raw.trim().is_empty() || raw.trim_start().starts_with('#') {
+            continue;
+        }
+        if raw.contains('\t') {
+            return Err(syntax(number, "tabs are not allowed; indent with spaces"));
+        }
+        let indent = raw.len() - raw.trim_start().len();
+        let content = raw.trim();
+        if content.starts_with('-') {
+            return Err(syntax(
+                number,
+                "sequences are not part of the target format",
+            ));
+        }
+        let Some(colon) = content.find(':') else {
+            return Err(syntax(
+                number,
+                format!("expected `key: value`, got {content:?}"),
+            ));
+        };
+        let key = content[..colon].trim();
+        if key.is_empty() {
+            return Err(syntax(number, "empty key"));
+        }
+        let rest = content[colon + 1..].trim();
+        if rest.starts_with('{') || rest.starts_with('[') || rest.starts_with('&') {
+            return Err(syntax(
+                number,
+                "flow collections and anchors are not part of the target format",
+            ));
+        }
+        lines.push(Line {
+            number,
+            indent,
+            key: key.to_string(),
+            value: (!rest.is_empty()).then(|| rest.to_string()),
+        });
+    }
+    Ok(lines)
+}
+
+/// Parses the lines starting at `*pos` as one mapping at exactly `indent`
+/// columns. Stops (without consuming) at the first line shallower than
+/// `indent`.
+fn parse_map(
+    lines: &[Line],
+    pos: &mut usize,
+    indent: usize,
+) -> Result<Vec<(String, Value)>, TargetError> {
+    let mut entries: Vec<(String, Value)> = Vec::new();
+    while *pos < lines.len() {
+        let line = &lines[*pos];
+        if line.indent < indent {
+            break;
+        }
+        if line.indent > indent {
+            return Err(syntax(
+                line.number,
+                format!(
+                    "unexpected indentation of {} (expected {})",
+                    line.indent, indent
+                ),
+            ));
+        }
+        if entries.iter().any(|(k, _)| *k == line.key) {
+            return Err(syntax(line.number, format!("duplicate key {:?}", line.key)));
+        }
+        *pos += 1;
+        let value = match &line.value {
+            Some(scalar) => Value::Scalar(scalar.clone()),
+            None => {
+                // A key with no scalar introduces a nested mapping; its
+                // children define the deeper indentation level.
+                let Some(child) = lines.get(*pos) else {
+                    return Err(syntax(
+                        line.number,
+                        format!("mapping {:?} has no entries", line.key),
+                    ));
+                };
+                if child.indent <= indent {
+                    return Err(syntax(
+                        line.number,
+                        format!("mapping {:?} has no entries", line.key),
+                    ));
+                }
+                Value::Map(parse_map(lines, pos, child.indent)?)
+            }
+        };
+        entries.push((line.key.clone(), value));
+    }
+    Ok(entries)
+}
+
+/// Parses a whole document into its top-level mapping.
+pub fn parse(input: &str) -> Result<Value, TargetError> {
+    let lines = scan(input)?;
+    if lines.is_empty() {
+        return Err(syntax(0, "empty document"));
+    }
+    if lines[0].indent != 0 {
+        return Err(syntax(
+            lines[0].number,
+            "top-level keys must not be indented",
+        ));
+    }
+    let mut pos = 0;
+    let map = parse_map(&lines, &mut pos, 0)?;
+    debug_assert_eq!(
+        pos,
+        lines.len(),
+        "parse_map at indent 0 consumes everything"
+    );
+    Ok(Value::Map(map))
+}
+
+/// A typed extraction cursor: a mapping plus the dotted path that led to
+/// it, so every error names the exact field (`dram.timing.cl`).
+#[derive(Debug)]
+pub struct Section<'a> {
+    entries: &'a [(String, Value)],
+    path: String,
+    /// Keys read so far, for the final unknown-key sweep.
+    seen: Vec<&'a str>,
+}
+
+impl<'a> Section<'a> {
+    /// Wraps a parsed document root.
+    pub fn root(value: &'a Value) -> Result<Section<'a>, TargetError> {
+        match value {
+            Value::Map(entries) => Ok(Section {
+                entries,
+                path: String::new(),
+                seen: Vec::new(),
+            }),
+            Value::Scalar(_) => Err(TargetError::Invalid {
+                path: String::new(),
+                msg: "document root must be a mapping".into(),
+            }),
+        }
+    }
+
+    fn join(&self, key: &str) -> String {
+        if self.path.is_empty() {
+            key.to_string()
+        } else {
+            format!("{}.{key}", self.path)
+        }
+    }
+
+    fn fetch(&mut self, key: &'a str) -> Result<&'a Value, TargetError> {
+        self.seen.push(key);
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| TargetError::MissingField {
+                path: self.join(key),
+            })
+    }
+
+    /// Descends into a nested mapping.
+    pub fn child(&mut self, key: &'a str) -> Result<Section<'a>, TargetError> {
+        let path = self.join(key);
+        match self.fetch(key)? {
+            Value::Map(entries) => Ok(Section {
+                entries,
+                path,
+                seen: Vec::new(),
+            }),
+            Value::Scalar(_) => Err(TargetError::Invalid {
+                path,
+                msg: "expected a mapping, found a scalar".into(),
+            }),
+        }
+    }
+
+    fn scalar(&mut self, key: &'a str) -> Result<(&'a str, String), TargetError> {
+        let path = self.join(key);
+        match self.fetch(key)? {
+            Value::Scalar(s) => Ok((s.as_str(), path)),
+            Value::Map(_) => Err(TargetError::Invalid {
+                path,
+                msg: "expected a scalar, found a mapping".into(),
+            }),
+        }
+    }
+
+    /// Reads a string field.
+    pub fn str(&mut self, key: &'a str) -> Result<String, TargetError> {
+        Ok(self.scalar(key)?.0.to_string())
+    }
+
+    /// Reads an unsigned integer field.
+    pub fn u64(&mut self, key: &'a str) -> Result<u64, TargetError> {
+        let (raw, path) = self.scalar(key)?;
+        raw.parse().map_err(|_| TargetError::Invalid {
+            path,
+            msg: format!("expected an unsigned integer, got {raw:?}"),
+        })
+    }
+
+    /// Reads a float field (plain integers are accepted too).
+    pub fn f64(&mut self, key: &'a str) -> Result<f64, TargetError> {
+        let (raw, path) = self.scalar(key)?;
+        let v: f64 = raw.parse().map_err(|_| TargetError::Invalid {
+            path: path.clone(),
+            msg: format!("expected a number, got {raw:?}"),
+        })?;
+        if !v.is_finite() {
+            return Err(TargetError::Invalid {
+                path,
+                msg: "expected a finite number".into(),
+            });
+        }
+        Ok(v)
+    }
+
+    /// Rejects keys the schema does not know — a typo like `c1:` for `cl:`
+    /// must fail loudly, not silently leave the real field missing-with-
+    /// default semantics.
+    pub fn finish(self) -> Result<(), TargetError> {
+        for (k, _) in self.entries {
+            if !self.seen.contains(&k.as_str()) {
+                return Err(TargetError::Invalid {
+                    path: self.join(k),
+                    msg: "unknown field".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Serializer: writes one `key: value` or nested block. Floats use Rust's
+/// shortest round-trip formatting, so parse(render(x)) == x exactly.
+pub struct Writer {
+    out: String,
+}
+
+impl Writer {
+    /// Creates an empty document, optionally led by comment lines.
+    pub fn new(header: &[&str]) -> Self {
+        let mut out = String::new();
+        for line in header {
+            out.push_str("# ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        Self { out }
+    }
+
+    fn indent(&mut self, depth: usize) {
+        for _ in 0..depth {
+            self.out.push_str("  ");
+        }
+    }
+
+    /// Writes a scalar field.
+    pub fn scalar(&mut self, depth: usize, key: &str, value: impl std::fmt::Display) {
+        self.indent(depth);
+        self.out.push_str(key);
+        self.out.push_str(": ");
+        self.out.push_str(&value.to_string());
+        self.out.push('\n');
+    }
+
+    /// Opens a nested mapping.
+    pub fn section(&mut self, depth: usize, key: &str) {
+        self.indent(depth);
+        self.out.push_str(key);
+        self.out.push_str(":\n");
+    }
+
+    /// Finishes the document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_maps_and_scalars() {
+        let doc = parse("a: 1\nb:\n  c: x\n  d:\n    e: 2.5\nf: hello world\n").unwrap();
+        assert_eq!(doc.get("a"), Some(&Value::Scalar("1".into())));
+        let b = doc.get("b").unwrap();
+        assert_eq!(b.get("c"), Some(&Value::Scalar("x".into())));
+        assert_eq!(
+            b.get("d").unwrap().get("e"),
+            Some(&Value::Scalar("2.5".into()))
+        );
+        assert_eq!(doc.get("f"), Some(&Value::Scalar("hello world".into())));
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let doc = parse("# header\n\na: 1\n# mid\nb: 2\n").unwrap();
+        assert!(doc.get("a").is_some() && doc.get("b").is_some());
+    }
+
+    #[test]
+    fn rejects_outside_subset() {
+        for (input, want) in [
+            ("a:\n- 1\n", "sequences"),
+            ("a: {b: 1}\n", "flow"),
+            ("a:\tb\n", "tabs"),
+            ("just text\n", "expected"),
+            ("a: 1\na: 2\n", "duplicate"),
+            ("a:\n", "no entries"),
+            ("", "empty document"),
+            ("  a: 1\n", "top-level"),
+        ] {
+            let err = parse(input).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains(want),
+                "{input:?}: expected {want:?} in {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn section_errors_carry_dotted_paths() {
+        let doc = parse("outer:\n  inner:\n    x: 1\n").unwrap();
+        let mut root = Section::root(&doc).unwrap();
+        let mut outer = root.child("outer").unwrap();
+        let mut inner = outer.child("inner").unwrap();
+        let err = inner.u64("missing").unwrap_err();
+        assert_eq!(err.to_string(), "missing field `outer.inner.missing`");
+        let err2 = Section::root(&doc).unwrap().child("nope").unwrap_err();
+        assert!(matches!(err2, TargetError::MissingField { .. }));
+    }
+
+    #[test]
+    fn unknown_keys_rejected_on_finish() {
+        let doc = parse("a: 1\nextra: 2\n").unwrap();
+        let mut root = Section::root(&doc).unwrap();
+        root.u64("a").unwrap();
+        let err = root.finish().unwrap_err();
+        assert!(err.to_string().contains("unknown field"), "{err}");
+    }
+
+    #[test]
+    fn writer_round_trips() {
+        let mut w = Writer::new(&["generated"]);
+        w.scalar(0, "name", "x");
+        w.section(0, "nested");
+        w.scalar(1, "v", 0.082_f64);
+        w.scalar(1, "n", 9360_u64);
+        let text = w.finish();
+        let doc = parse(&text).unwrap();
+        assert_eq!(
+            doc.get("nested").unwrap().get("v"),
+            Some(&Value::Scalar("0.082".into()))
+        );
+    }
+}
