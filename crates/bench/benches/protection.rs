@@ -1,6 +1,9 @@
 //! Criterion benches of the protection engines themselves and an
 //! end-to-end protected run on a small network — the ablation bench for
 //! the VN-scheme design choice (DESIGN.md §6.1) and MAC granularity (§6.2).
+// The criterion_group! macro expands to undocumented glue functions,
+// which the workspace-level missing_docs deny would otherwise reject.
+#![allow(missing_docs)]
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use guardnn::perf::{evaluate, EvalConfig, Mode, Scheme};

@@ -90,6 +90,7 @@ fn run_suite(
                 .iter()
                 .find(|(sc, _)| *sc == s)
                 .map(|(_, r)| r)
+                // lint:allow(panic-discipline) — results holds one run per Scheme by construction
                 .expect("scheme present")
         };
         let np = get(Scheme::NoProtection);

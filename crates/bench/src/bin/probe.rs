@@ -7,7 +7,11 @@ use guardnn::perf::{evaluate, EvalConfig, Mode, Scheme};
 use guardnn_models::zoo;
 
 fn main() {
-    let net = zoo::by_name(&std::env::args().nth(1).unwrap_or_else(|| "vgg".into())).expect("net");
+    let name = std::env::args().nth(1).unwrap_or_else(|| "vgg".into());
+    let Some(net) = zoo::by_name(&name) else {
+        eprintln!("probe: unknown network `{name}` (try vgg, mnist, cifar)");
+        std::process::exit(2);
+    };
     let cfg = EvalConfig::default();
     for s in Scheme::all() {
         let r = evaluate(&net, Mode::Inference, s, &cfg);

@@ -81,6 +81,7 @@ fn registry_sweep(
         "trace buf (B)",
     ]);
     for (target, point) in targets.iter().zip(results.chunks(POINT_SCHEMES.len())) {
+        // lint:allow(panic-discipline) — chunks(POINT_SCHEMES.len()) yields exact-size slices
         let [np, gci, bp] = point else { unreachable!() };
         record_point(records, "targets", &target.name, net.name(), point);
         let buf = point
@@ -157,6 +158,7 @@ fn main() {
         let results = evaluate_batch(parallelism, &jobs);
         let mut t = Table::new(vec!["array", "PEs", "GuardNN_CI", "BP", "trace buf (B)"]);
         for (dim, point) in dims.iter().zip(results.chunks(POINT_SCHEMES.len())) {
+            // lint:allow(panic-discipline) — chunks(POINT_SCHEMES.len()) yields exact-size slices
             let [np, gci, bp] = point else { unreachable!() };
             record_point(&mut records, "pe-scale", &target.name, net.name(), point);
             let buf = point
@@ -200,6 +202,7 @@ fn main() {
             "trace buf (B)",
         ]);
         for (batch, point) in batches.iter().zip(results.chunks(POINT_SCHEMES.len())) {
+            // lint:allow(panic-discipline) — chunks(POINT_SCHEMES.len()) yields exact-size slices
             let [np, gci, bp] = point else { unreachable!() };
             record_point(&mut records, "batch", &target.name, net.name(), point);
             let buf = point

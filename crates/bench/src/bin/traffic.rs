@@ -2,12 +2,13 @@
 //! 35.3% (inference) / 37.8% (training) while GuardNN_CI adds 2.4% / 2.3%.
 //!
 //! Run with
-//! `cargo run --release -p guardnn-bench --bin traffic -- [--json] [--target NAME]... [--all-targets]`
+//! `cargo run --release -p guardnn-bench --bin traffic -- [--json] [--target NAME]... [--all-targets] [--bench-out PATH]`
 //! (`--target`/`--all-targets` pick the hardware points from the
-//! registry, default `guardnn-paper`).
+//! registry, default `guardnn-paper`; `--bench-out` writes the
+//! machine-readable record, same shape as `fig3 --bench-out`).
 
 use guardnn::perf::{evaluate_batch, EvalConfig, EvalJob, Mode, Scheme};
-use guardnn_bench::json::run_summary_json;
+use guardnn_bench::json::{run_summary_json, Json};
 use guardnn_bench::{announce_pool, announce_target, f, select_targets, Table};
 use guardnn_models::{zoo, Network};
 
@@ -21,6 +22,7 @@ fn run_suite(
     nets: &[Network],
     mode: Mode,
     json: bool,
+    records: &mut Vec<Json>,
 ) -> (f64, f64) {
     println!("\nMemory-traffic increase — {title} (% over data traffic)\n");
     let jobs: Vec<EvalJob<'_>> = nets
@@ -40,17 +42,15 @@ fn run_suite(
     let (mut sum_gci, mut sum_bp) = (0.0, 0.0);
     for (net, runs) in nets.iter().zip(results.chunks(TRAFFIC_SCHEMES.len())) {
         let [gci_run, bp_run] = runs else {
+            // lint:allow(panic-discipline) — chunks(TRAFFIC_SCHEMES.len()) yields exact-size slices
             unreachable!()
         };
-        if json {
-            for run in [gci_run, bp_run] {
-                println!(
-                    "{}",
-                    run_summary_json(net.name(), title, run)
-                        .field("target", target)
-                        .render()
-                );
+        for run in [gci_run, bp_run] {
+            let record = run_summary_json(net.name(), title, run).field("target", target);
+            if json {
+                println!("{}", record.render());
             }
+            records.push(record);
         }
         let gci = gci_run.traffic_increase() * 100.0;
         let bp = bp_run.traffic_increase() * 100.0;
@@ -71,6 +71,14 @@ fn run_suite(
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
+    let bench_out = args.iter().position(|a| a == "--bench-out").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--bench-out needs a path argument");
+            std::process::exit(2);
+        })
+    });
+    let started = std::time::Instant::now();
+    let mut records = Vec::new();
     for target in select_targets(&args) {
         announce_target(target);
         let cfg = EvalConfig::from_target(target);
@@ -81,6 +89,7 @@ fn main() {
             &zoo::figure3_inference_suite(),
             Mode::Inference,
             json,
+            &mut records,
         );
         let (gci_tr, bp_tr) = run_suite(
             "training",
@@ -89,6 +98,7 @@ fn main() {
             &zoo::figure3_training_suite(),
             Mode::Training { batch: 4 },
             json,
+            &mut records,
         );
         println!(
             "\nMeasured on {}: BP +{bp_inf:.1}% / +{bp_tr:.1}%; GuardNN_CI +{gci_inf:.1}% / +{gci_tr:.1}%.",
@@ -97,4 +107,18 @@ fn main() {
     }
     println!("\nPaper reference (guardnn-paper): BP +35.3% (inference) / +37.8% (training);");
     println!("                                 GuardNN_CI +2.4% (inference) / +2.3% (training).");
+    if let Some(path) = bench_out {
+        let doc = Json::obj()
+            .field("bench", "traffic")
+            .field("mode", "both")
+            .field("wall_s", started.elapsed().as_secs_f64())
+            .field("runs", records);
+        match std::fs::write(&path, doc.render() + "\n") {
+            Ok(()) => println!("\nwrote benchmark record to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

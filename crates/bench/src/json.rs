@@ -4,6 +4,13 @@
 //! the small subset the report binaries need: objects, arrays, strings,
 //! and numbers, with correct escaping. Output is deterministic (insertion
 //! order preserved).
+//!
+//! ```
+//! use guardnn_bench::json::Json;
+//!
+//! let doc = Json::obj().field("bench", "demo").field("runs", 3_i64);
+//! assert_eq!(doc.render(), r#"{"bench":"demo","runs":3}"#);
+//! ```
 
 use std::fmt::Write as _;
 
@@ -38,6 +45,7 @@ impl Json {
     pub fn field(mut self, key: &str, value: impl Into<Json>) -> Self {
         match &mut self {
             Json::Obj(fields) => fields.push((key.to_string(), value.into())),
+            // lint:allow(panic-discipline) — documented `# Panics` contract of the builder API
             other => panic!("field() on non-object {other:?}"),
         }
         self

@@ -4,6 +4,8 @@
 //! (see DESIGN.md §3 for the index); this library provides the common
 //! report formatting so every binary prints aligned, diff-friendly tables.
 
+#![deny(missing_docs)]
+
 pub mod json;
 
 /// A simple fixed-width table printer.
@@ -129,6 +131,7 @@ pub fn select_targets(args: &[String]) -> Vec<&'static guardnn_targets::Hardware
         }
     }
     if targets.is_empty() {
+        // lint:allow(panic-discipline) — the built-in registry always defines guardnn-paper
         targets.push(guardnn_targets::get("guardnn-paper").expect("registry has the paper target"));
     }
     targets

@@ -234,9 +234,11 @@ impl GuardNnDevice {
                 let device_public = dh.public_key().clone();
                 let (k_enc, k_mac_chan) = derive_channel_keys(&dh, &user_public);
                 // Fresh random memory keys per session.
+                // lint:allow(panic-discipline) — next_bytes(16) returns exactly 16 bytes
                 let k_menc: [u8; 16] = self.rng.next_bytes(16).try_into().expect("16 bytes");
-                let k_mac =
-                    enable_integrity.then(|| self.rng.next_bytes(16).try_into().expect("16 bytes"));
+                let k_mac = enable_integrity
+                    // lint:allow(panic-discipline) — next_bytes(16) returns exactly 16 bytes
+                    .then(|| self.rng.next_bytes(16).try_into().expect("16 bytes"));
                 let session = self.next_session;
                 self.next_session += 1;
                 self.sessions.insert(
@@ -312,7 +314,10 @@ impl GuardNnDevice {
                         actual: weights.len(),
                     });
                 }
-                let mem = session.memory.as_mut().expect("model implies memory");
+                let mem = session
+                    .memory
+                    .as_mut()
+                    .ok_or(GuardNnError::InvalidState("model without memory"))?;
                 mem.counters_mut()
                     .next_weight()
                     .map_err(|e| GuardNnError::CounterExhausted { counter: e.counter })?;
@@ -343,7 +348,10 @@ impl GuardNnDevice {
                         actual: input.len(),
                     });
                 }
-                let mem = session.memory.as_mut().expect("model implies memory");
+                let mem = session
+                    .memory
+                    .as_mut()
+                    .ok_or(GuardNnError::InvalidState("model without memory"))?;
                 mem.counters_mut()
                     .next_input()
                     .map_err(|e| GuardNnError::CounterExhausted { counter: e.counter })?;
@@ -384,7 +392,10 @@ impl GuardNnDevice {
                     return Err(GuardNnError::BadLayerIndex { layer });
                 }
                 let l = model.layers()[layer].clone();
-                let mem = session.memory.as_mut().expect("model implies memory");
+                let mem = session
+                    .memory
+                    .as_mut()
+                    .ok_or(GuardNnError::InvalidState("model without memory"))?;
                 let input = mem.read_features(layer, l.input_elems() as usize)?;
                 let weights = if l.has_weights() {
                     mem.read_weights(layer, l.weight_elems() as usize)?
@@ -415,7 +426,10 @@ impl GuardNnDevice {
                     .output_elems
                     .ok_or(GuardNnError::InvalidState("no output computed"))?;
                 let edge = model.layers().len();
-                let mem = session.memory.as_ref().expect("model implies memory");
+                let mem = session
+                    .memory
+                    .as_ref()
+                    .ok_or(GuardNnError::InvalidState("model without memory"))?;
                 let output = mem.read_features(edge, elems)?;
                 let bytes = i32_to_bytes(&output);
                 if session.integrity {
@@ -452,7 +466,10 @@ impl GuardNnDevice {
                     });
                 }
                 let edge = model.layers().len();
-                let mem = session.memory.as_mut().expect("model implies memory");
+                let mem = session
+                    .memory
+                    .as_mut()
+                    .ok_or(GuardNnError::InvalidState("model without memory"))?;
                 mem.counters_mut()
                     .next_feature_write()
                     .map_err(|e| GuardNnError::CounterExhausted { counter: e.counter })?;
@@ -473,7 +490,10 @@ impl GuardNnDevice {
                     return Err(GuardNnError::BadLayerIndex { layer });
                 }
                 let l = model.layers()[layer].clone();
-                let mem = session.memory.as_mut().expect("model implies memory");
+                let mem = session
+                    .memory
+                    .as_mut()
+                    .ok_or(GuardNnError::InvalidState("model without memory"))?;
                 // Stashed forward input of this layer (host sets CTR_F,R).
                 let input = mem.read_features(layer, l.input_elems() as usize)?;
                 let weights = if l.has_weights() {
@@ -510,7 +530,10 @@ impl GuardNnDevice {
                 if elems == 0 {
                     return Err(GuardNnError::InvalidState("layer has no weights"));
                 }
-                let mem = session.memory.as_mut().expect("model implies memory");
+                let mem = session
+                    .memory
+                    .as_mut()
+                    .ok_or(GuardNnError::InvalidState("model without memory"))?;
                 let mut weights = mem.read_weights(layer, elems)?;
                 let d_w = mem.read_wgrad(layer, elems)?;
                 crate::nn::sgd_step(&mut weights, &d_w, lr_shift);
@@ -534,6 +557,7 @@ impl GuardNnDevice {
 fn bytes_to_i32(bytes: &[u8]) -> Vec<i32> {
     bytes
         .chunks_exact(4)
+        // lint:allow(panic-discipline) — chunks_exact(4) yields exactly 4 bytes
         .map(|c| i32::from_le_bytes(c.try_into().expect("4 bytes")))
         .collect()
 }

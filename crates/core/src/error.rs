@@ -1,4 +1,16 @@
 //! Error type for GuardNN device and protocol operations.
+//!
+//! Every detectable fault surfaces as a [`GuardNnError`] variant; the
+//! chaos harness keys its which-check-fired assertions on [`GuardNnError::name`]
+//! and report tables render errors through `Display`.
+//!
+//! ```
+//! use guardnn::error::GuardNnError;
+//!
+//! let e = GuardNnError::IntegrityViolation { chunk_addr: 0x40 };
+//! assert_eq!(e.name(), "IntegrityViolation");
+//! assert!(e.to_string().contains("0x40"));
+//! ```
 
 use std::fmt;
 

@@ -53,7 +53,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod adversary;
 pub mod attestation;

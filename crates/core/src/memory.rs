@@ -242,6 +242,7 @@ fn to_bytes(data: &[i32]) -> Vec<u8> {
 fn from_bytes(bytes: &[u8]) -> Vec<i32> {
     bytes
         .chunks_exact(4)
+        // lint:allow(panic-discipline) — chunks_exact(4) yields exactly 4 bytes
         .map(|c| i32::from_le_bytes(c.try_into().expect("4 bytes")))
         .collect()
 }

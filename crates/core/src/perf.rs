@@ -168,6 +168,7 @@ impl Parallelism {
                     if i >= n {
                         break;
                     }
+                    // lint:allow(panic-discipline) — lock is poisoned only if a worker already panicked; propagating that panic is the correct double-fault behaviour
                     *slots[i].lock().expect("worker panicked") = Some(f(i));
                 });
             }
@@ -176,7 +177,9 @@ impl Parallelism {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
+                    // lint:allow(panic-discipline) — poisoned only if a worker already panicked
                     .expect("worker panicked")
+                    // lint:allow(panic-discipline) — the fetch_add work queue hands out every index < n before the scope joins
                     .expect("every index visited")
             })
             .collect()
@@ -356,10 +359,11 @@ fn guardnn_c_from_np(np: &RunSummary) -> RunSummary {
 
 /// Expands the three simulated runs (in [`SIMULATED_SCHEMES`] order) into
 /// the four reported schemes, in [`Scheme::all`] order.
-fn expand_schemes(mut simulated: Vec<RunSummary>) -> Vec<(Scheme, RunSummary)> {
-    let bp = simulated.pop().expect("BP simulated");
-    let gci = simulated.pop().expect("GuardNN_CI simulated");
-    let np = simulated.pop().expect("NP simulated");
+fn expand_schemes(simulated: Vec<RunSummary>) -> Vec<(Scheme, RunSummary)> {
+    let [np, gci, bp]: [RunSummary; 3] = simulated
+        .try_into()
+        // lint:allow(panic-discipline) — every caller passes exactly one run per SIMULATED_SCHEMES entry
+        .expect("one run per simulated scheme");
     let gc = guardnn_c_from_np(&np);
     vec![
         (Scheme::NoProtection, np),

@@ -368,8 +368,13 @@ impl DeviceServer {
                 "session table full and every session is active",
             ));
         };
-        let entry = self.sessions.get_mut(&id).expect("candidate exists");
-        let device_sid = entry.device_sid.take().expect("idle implies established");
+        let entry = self
+            .sessions
+            .get_mut(&id)
+            .ok_or(GuardNnError::UnknownSession { session: id })?;
+        let device_sid = entry.device_sid.take().ok_or(GuardNnError::InvalidState(
+            "idle session has no device slot",
+        ))?;
         entry.network = None;
         entry.edge_extents.clear();
         entry.checkpoint.clear();
@@ -598,7 +603,10 @@ impl DeviceServer {
         self.ensure_active(session)?;
 
         let entry = self.session_mut(session)?;
-        let job = entry.jobs.front_mut().expect("checked nonempty");
+        let job = entry
+            .jobs
+            .front_mut()
+            .ok_or(GuardNnError::InvalidState("job queue empty mid-step"))?;
         match job.pc {
             JobPc::SetInput => {
                 // Clone rather than take: a rejected SetInput (bad shape)
@@ -614,7 +622,10 @@ impl DeviceServer {
                 let entry = self.session_mut(session)?;
                 entry.counters.on_set_input()?;
                 let vn = entry.counters.current_write_vn();
-                let job = entry.jobs.front_mut().expect("job in flight");
+                let job = entry
+                    .jobs
+                    .front_mut()
+                    .ok_or(GuardNnError::InvalidState("job queue empty mid-step"))?;
                 job.sealed_input = None;
                 job.edge_vns.push(vn);
                 job.pc = if layers == 0 {
@@ -635,7 +646,11 @@ impl DeviceServer {
                 self.exec(Instruction::SetReadCtr { start, end, vn })?;
                 let entry = self.session_mut(session)?;
                 entry.checkpoint.push((start, end, vn));
-                entry.jobs.front_mut().expect("job in flight").pc = JobPc::Forward(layer);
+                entry
+                    .jobs
+                    .front_mut()
+                    .ok_or(GuardNnError::InvalidState("job queue empty mid-step"))?
+                    .pc = JobPc::Forward(layer);
                 Ok(StepProgress::Working)
             }
             JobPc::Forward(layer) => {
@@ -644,7 +659,10 @@ impl DeviceServer {
                 entry.counters.on_forward()?;
                 entry.checkpoint.clear();
                 let vn = entry.counters.current_write_vn();
-                let job = entry.jobs.front_mut().expect("job in flight");
+                let job = entry
+                    .jobs
+                    .front_mut()
+                    .ok_or(GuardNnError::InvalidState("job queue empty mid-step"))?;
                 job.edge_vns.push(vn);
                 job.pc = if layer + 1 < layers {
                     JobPc::ReadCtr(layer + 1)
@@ -665,7 +683,11 @@ impl DeviceServer {
                 self.exec(Instruction::SetReadCtr { start, end, vn })?;
                 let entry = self.session_mut(session)?;
                 entry.checkpoint.push((start, end, vn));
-                entry.jobs.front_mut().expect("job in flight").pc = JobPc::Export;
+                entry
+                    .jobs
+                    .front_mut()
+                    .ok_or(GuardNnError::InvalidState("job queue empty mid-step"))?
+                    .pc = JobPc::Export;
                 Ok(StepProgress::Working)
             }
             JobPc::Export => {
@@ -676,7 +698,10 @@ impl DeviceServer {
                 };
                 let entry = self.session_mut(session)?;
                 entry.checkpoint.clear();
-                let job = entry.jobs.pop_front().expect("job in flight");
+                let job = entry
+                    .jobs
+                    .pop_front()
+                    .ok_or(GuardNnError::InvalidState("job queue empty mid-step"))?;
                 entry.last_edge_vns = job.edge_vns;
                 entry.outputs.push_back(message);
                 if entry.jobs.is_empty() {
@@ -777,7 +802,10 @@ impl DeviceServer {
     ) -> Result<Vec<i32>, GuardNnError> {
         let inputs = [input.to_vec()];
         let outputs = self.infer_batch(session, user, &inputs)?;
-        Ok(outputs.into_iter().next().expect("one input, one output"))
+        outputs
+            .into_iter()
+            .next()
+            .ok_or(GuardNnError::InvalidState("batch returned no output"))
     }
 
     /// ISA-level batched inference: queues every input up front, then

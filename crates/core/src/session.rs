@@ -130,7 +130,9 @@ impl SecureChannel {
         if wire.len() < 24 {
             return Err(GuardNnError::ChannelAuth);
         }
+        // lint:allow(panic-discipline) — wire.len() >= 24 checked above, 8-byte slice is exact
         let seq = u64::from_be_bytes(wire[..8].try_into().expect("8 bytes"));
+        // lint:allow(panic-discipline) — wire.len() >= 24 checked above, 16-byte slice is exact
         let tag: [u8; 16] = wire[8..24].try_into().expect("16 bytes");
         let ct = &wire[24..];
         let peer = match self.end {
@@ -268,6 +270,7 @@ impl RemoteUser {
         let bytes = self.channel_mut()?.open(wire)?;
         Ok(bytes
             .chunks_exact(4)
+            // lint:allow(panic-discipline) — chunks_exact(4) yields exactly 4 bytes
             .map(|c| i32::from_le_bytes(c.try_into().expect("4 bytes")))
             .collect())
     }

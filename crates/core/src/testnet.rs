@@ -73,6 +73,7 @@ pub fn deterministic_weights(net: &Network, seed: i32) -> Vec<Vec<i32>> {
 pub fn reference_forward(net: &Network, weights: &[Vec<i32>], input: &[i32]) -> Vec<i32> {
     let mut act = input.to_vec();
     for (l, w) in net.layers().iter().zip(weights.iter()) {
+        // lint:allow(panic-discipline) — documented `# Panics` contract of the reference oracle
         act = crate::nn::forward_layer(l, &act, w).expect("shapes chain");
     }
     act
@@ -94,8 +95,9 @@ pub fn reference_train_step(
     // Forward, stashing each layer's input.
     let mut acts = vec![input.to_vec()];
     for (l, w) in net.layers().iter().zip(weights.iter()) {
-        let next =
-            crate::nn::forward_layer(l, acts.last().expect("nonempty"), w).expect("shapes chain");
+        let prev = acts.last();
+        // lint:allow(panic-discipline) — acts starts nonempty; documented `# Panics` oracle contract
+        let next = crate::nn::forward_layer(l, prev.expect("nonempty"), w).expect("shapes chain");
         acts.push(next);
     }
     // Backward + update.
@@ -103,6 +105,7 @@ pub fn reference_train_step(
     let mut d_out = output_grad.to_vec();
     for (i, l) in net.layers().iter().enumerate().rev() {
         let (d_in, d_w) =
+            // lint:allow(panic-discipline) — documented `# Panics` contract of the reference oracle
             crate::nn::backward_layer(l, &acts[i], &weights[i], &d_out).expect("shapes chain");
         if l.has_weights() {
             crate::nn::sgd_step(&mut updated[i], &d_w, lr_shift);

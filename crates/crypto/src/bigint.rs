@@ -124,6 +124,7 @@ impl BigUint {
         let digits: Vec<u8> = s
             .chars()
             .filter(|c| !c.is_whitespace())
+            // lint:allow(panic-discipline) — documented `# Panics` contract for const hex inputs
             .map(|c| c.to_digit(16).expect("invalid hex digit") as u8)
             .collect();
         let mut bytes = Vec::with_capacity(digits.len() / 2 + 1);

@@ -204,6 +204,7 @@ impl DhKeyPair {
     pub fn derive_key(&self, peer: &BigUint, label: &[u8]) -> [u8; 16] {
         let secret = self.shared_secret(peer);
         let okm = hkdf_sha256(&secret.to_bytes_be(), b"guardnn-dh", label, 16);
+        // lint:allow(panic-discipline) — hkdf_sha256 was asked for exactly 16 bytes
         okm.try_into().expect("hkdf returned 16 bytes")
     }
 }

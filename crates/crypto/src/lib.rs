@@ -36,6 +36,8 @@
 //! assert_eq!(cipher.decrypt_block(&ct), [0u8; 16]);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod aes;
 pub mod bigint;
 pub mod cert;

@@ -72,6 +72,7 @@ impl TrngModel {
     /// Produces a uniformly distributed `u64`.
     pub fn next_u64(&mut self) -> u64 {
         let block = self.next_block();
+        // lint:allow(panic-discipline) — next_block() returns 16 bytes, the 8-byte slice is exact
         u64::from_le_bytes(block[..8].try_into().expect("8 bytes"))
     }
 }

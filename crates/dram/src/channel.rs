@@ -234,7 +234,9 @@ impl Channel {
         let idx = rows
             .iter()
             .position(|rq| rq.row == row)
+            // lint:allow(panic-discipline) — callers pass (bank, row) taken from the pending index
             .expect("pending row present");
+        // lint:allow(panic-discipline) — a pending row entry always holds at least one request
         let p = rows[idx].fifo.pop_front().expect("row queue nonempty");
         let is_hit_queue = self.banks[bank].open_row() == Some(row);
         if let Some(next_seq) = rows[idx].fifo.front().map(|p| p.seq) {
@@ -288,6 +290,7 @@ impl Channel {
     /// liveness check and the pop share one row-queue lookup.
     fn pick_all_hits(&mut self) -> Request {
         loop {
+            // lint:allow(panic-discipline) — issue_one() only schedules while requests are pending
             let e = self.order.pop_front().expect("queue nonempty");
             let rows = &mut self.pending[e.bank];
             let Some(idx) = rows.iter().position(|rq| rq.row == e.row) else {
@@ -298,6 +301,7 @@ impl Channel {
             if rows[idx].front_seq > e.seq {
                 continue; // stale: reissued row, newer requests only
             }
+            // lint:allow(panic-discipline) — front_seq liveness check guarantees the queue front
             let p = rows[idx].fifo.pop_front().expect("nonempty");
             if let Some(next_seq) = rows[idx].fifo.front().map(|p| p.seq) {
                 rows[idx].front_seq = next_seq;
@@ -389,6 +393,7 @@ impl Channel {
     fn prepare_and_pick(&mut self) -> Request {
         // Oldest live request; prune stale entries off the deque front.
         let front = loop {
+            // lint:allow(panic-discipline) — issue_one() only schedules while requests are pending
             let e = *self.order.front().expect("queue nonempty");
             if Self::is_live(&self.pending, &e) {
                 break e;
@@ -419,9 +424,11 @@ impl Channel {
                 best_hit = Some((front, bank_idx));
             }
         }
+        // lint:allow(panic-discipline) — caller reaches here only when a victim bank has hits
         let (_, bank) = best_hit.expect("victim row has pending hits");
         let row = self.banks[bank]
             .open_row()
+            // lint:allow(panic-discipline) — hit_front is set only while the bank row is open
             .expect("hit front implies open row");
         self.pop_pending(bank, row)
     }

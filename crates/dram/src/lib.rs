@@ -34,6 +34,8 @@
 //! assert!(stats.row_hits > stats.row_misses, "streaming reads are row hits");
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod bank;
 pub mod channel;
 pub mod config;

@@ -13,6 +13,20 @@
 //! Queues are bounded (8 batches of 1024 requests per channel), so a
 //! fast producer cannot buffer an unbounded trace: the streaming
 //! pipeline's O(1)-memory guarantee survives the handoff.
+//!
+//! ```
+//! use guardnn_dram::config::DramConfig;
+//! use guardnn_dram::parallel::with_channel_workers;
+//! use guardnn_dram::system::DramSink;
+//!
+//! let stats = with_channel_workers(DramConfig::ddr4_2400_16gb(), |dram| {
+//!     for block in 0..64u64 {
+//!         dram.access(block * 64, false);
+//!     }
+//!     dram.drain_stats()
+//! });
+//! assert_eq!(stats.reads, 64);
+//! ```
 
 use crate::channel::{Channel, Request};
 use crate::config::DramConfig;
@@ -80,6 +94,7 @@ impl ParallelDram {
         let batch = std::mem::replace(&mut self.buffers[channel], Vec::with_capacity(BATCH));
         self.txs[channel]
             .send(Cmd::Batch(batch))
+            // lint:allow(panic-discipline) — send fails only if a scoped worker panicked: double fault
             .expect("channel worker alive");
     }
 }
@@ -98,10 +113,12 @@ impl DramSink for ParallelDram {
             self.flush(channel);
             self.txs[channel]
                 .send(Cmd::Drain)
+                // lint:allow(panic-discipline) — send fails only if a scoped worker panicked: double fault
                 .expect("channel worker alive");
         }
         let mut merged = DramStats::default();
         for rx in &self.stat_rxs {
+            // lint:allow(panic-discipline) — recv fails only if a scoped worker panicked: double fault
             merged.merge(&rx.recv().expect("channel worker alive"));
         }
         merged
@@ -129,6 +146,7 @@ pub fn with_channel_workers<R>(cfg: DramConfig, f: impl FnOnce(&mut ParallelDram
                                 channel.push(req);
                             }
                         }
+                        // lint:allow(panic-discipline) — the driver owns stat_rx for the worker's lifetime
                         Cmd::Drain => stat_tx.send(channel.drain()).expect("driver alive"),
                     }
                 }

@@ -26,6 +26,8 @@
 //! assert!(row.overhead_percent() < 4.0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod asic;
 pub mod chaidnn;
 pub mod microblaze;

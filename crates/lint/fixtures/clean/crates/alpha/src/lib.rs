@@ -1,0 +1,8 @@
+//! Fixture: a fully compliant crate with one justified waiver.
+#![deny(missing_docs)]
+
+/// Returns the head of a nonempty list.
+pub fn head(v: &[u32]) -> u32 {
+    // lint:allow(panic-discipline) — caller contract: v is nonempty
+    *v.first().unwrap()
+}

@@ -1,0 +1,7 @@
+//! Fixture: a detached thread.
+#![deny(missing_docs)]
+
+/// Spawns a detached worker.
+pub fn detach() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,5 @@
+//! Fixture: a mutable global.
+#![deny(missing_docs)]
+
+/// A mutable global counter.
+pub static mut COUNTER: u32 = 0;

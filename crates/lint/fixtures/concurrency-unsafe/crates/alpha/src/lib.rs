@@ -1,0 +1,7 @@
+//! Fixture: an unsafe block without a SAFETY comment.
+#![deny(missing_docs)]
+
+/// Reads through a raw pointer.
+pub fn read_raw(p: *const u32) -> u32 {
+    unsafe { *p }
+}

@@ -1,0 +1,4 @@
+//! Fixture: crate root without deny(missing_docs).
+
+/// Does nothing.
+pub fn noop() {}

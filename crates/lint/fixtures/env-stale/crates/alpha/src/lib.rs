@@ -1,0 +1,5 @@
+//! Fixture crate.
+#![deny(missing_docs)]
+
+/// Does nothing.
+pub fn noop() {}

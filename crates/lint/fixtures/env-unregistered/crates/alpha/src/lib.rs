@@ -1,0 +1,7 @@
+//! Fixture: an undocumented GUARDNN_* knob.
+#![deny(missing_docs)]
+
+/// Reads an undocumented env knob.
+pub fn knob() -> bool {
+    std::env::var("GUARDNN_SECRET_KNOB").is_ok()
+}

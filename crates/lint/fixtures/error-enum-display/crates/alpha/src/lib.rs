@@ -1,0 +1,8 @@
+//! Fixture: a public error enum without a Display impl.
+#![deny(missing_docs)]
+
+/// A public error with no Display impl.
+pub enum FixtureError {
+    /// Something failed.
+    Failed,
+}

@@ -1,0 +1,16 @@
+//! Fixture: a scheme-facing error with Display but no name().
+#![deny(missing_docs)]
+
+use std::fmt;
+
+/// A scheme-facing error with Display but no name().
+pub enum SchemeError {
+    /// Something failed.
+    Failed,
+}
+
+impl fmt::Display for SchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed")
+    }
+}

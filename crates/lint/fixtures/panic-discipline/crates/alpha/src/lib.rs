@@ -1,0 +1,7 @@
+//! Fixture: a bare unwrap in product code.
+#![deny(missing_docs)]
+
+/// Returns the first element.
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,7 @@
+//! Fixture: a waiver marker without a reason.
+#![deny(missing_docs)]
+
+/// Does nothing.
+pub fn noop() {
+    // lint:allow(panic-discipline)
+}

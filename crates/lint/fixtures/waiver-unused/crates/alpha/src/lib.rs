@@ -1,0 +1,7 @@
+//! Fixture: a waiver that suppresses nothing.
+#![deny(missing_docs)]
+
+/// Does nothing.
+pub fn noop() {
+    // lint:allow(panic-discipline) — nothing here panics
+}

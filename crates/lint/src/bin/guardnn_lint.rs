@@ -1,0 +1,75 @@
+//! `guardnn-lint` — run the workspace static-analysis pass.
+//!
+//! ```text
+//! guardnn-lint [--root PATH] [--json] [--list-rules]
+//! ```
+//!
+//! Without `--root`, the tool walks upward from the current directory to
+//! the nearest `Cargo.toml` with a `[workspace]` table. Exit status: 0
+//! when clean, 1 when diagnostics fired, 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use guardnn_lint::diag::to_json;
+use guardnn_lint::rules::RULES;
+use guardnn_lint::workspace::Workspace;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    if args.iter().any(|a| a == "--list-rules") {
+        for r in RULES {
+            let waivable = if r.waivable { "waivable" } else { "structural" };
+            println!("{:<16} [{waivable}] {}", r.id, r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = match args.iter().position(|a| a == "--root") {
+        Some(i) => match args.get(i + 1) {
+            Some(p) => PathBuf::from(p),
+            None => {
+                eprintln!("--root needs a path argument");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match Workspace::discover_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let diags = match guardnn_lint::lint_root(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("guardnn-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        if diags.is_empty() {
+            println!(
+                "guardnn-lint: clean ({} rules over {})",
+                RULES.len(),
+                root.display()
+            );
+        } else {
+            println!("guardnn-lint: {} diagnostic(s)", diags.len());
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

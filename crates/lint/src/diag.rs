@@ -1,0 +1,118 @@
+//! Diagnostics: the one output type every rule produces.
+//!
+//! The text form is `crate::file:line: rule-id: message` (file paths are
+//! crate-relative, so `guardnn-memprot::src/cache.rs:106: panic-discipline:
+//! …` is stable across checkouts); `--json` renders the same records as a
+//! machine-readable document for CI.
+
+use std::fmt;
+
+/// One finding, anchored to a crate + file + line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace package name (`guardnn-memprot`), or `workspace` for
+    /// findings anchored to root-level files like `ARCHITECTURE.md`.
+    pub krate: String,
+    /// Path relative to the crate directory (or repo root for
+    /// `workspace`-scoped findings).
+    pub file: String,
+    /// 1-based line number; 0 when the finding has no meaningful line
+    /// (e.g. a missing manifest section).
+    pub line: usize,
+    /// Stable rule id (`panic-discipline`, `layering`, ...).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}::{}:{}: {}: {}",
+            self.krate, self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Renders a diagnostic list as the `--json` document:
+/// `{"tool":"guardnn-lint","count":N,"diagnostics":[...]}` with
+/// insertion order preserved and strings escaped.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\"tool\":\"guardnn-lint\",\"count\":");
+    out.push_str(&diags.len().to_string());
+    out.push_str(",\"diagnostics\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"crate\":");
+        json_str(&mut out, &d.krate);
+        out.push_str(",\"file\":");
+        json_str(&mut out, &d.file);
+        out.push_str(",\"line\":");
+        out.push_str(&d.line.to_string());
+        out.push_str(",\"rule\":");
+        json_str(&mut out, d.rule);
+        out.push_str(",\"message\":");
+        json_str(&mut out, &d.message);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            krate: "guardnn-memprot".into(),
+            file: "src/cache.rs".into(),
+            line: 106,
+            rule: "panic-discipline",
+            message: "`.expect(` in non-test product code".into(),
+        }
+    }
+
+    #[test]
+    fn text_form_is_the_documented_shape() {
+        assert_eq!(
+            sample().to_string(),
+            "guardnn-memprot::src/cache.rs:106: panic-discipline: \
+             `.expect(` in non-test product code"
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let mut d = sample();
+        d.message = "quote \" and \\ backslash".into();
+        let doc = to_json(&[d]);
+        assert!(doc.starts_with("{\"tool\":\"guardnn-lint\",\"count\":1,"));
+        assert!(doc.contains("quote \\\" and \\\\ backslash"));
+        assert_eq!(
+            to_json(&[]),
+            "{\"tool\":\"guardnn-lint\",\"count\":0,\"diagnostics\":[]}"
+        );
+    }
+}

@@ -1,0 +1,409 @@
+//! A comment/string/raw-string-aware Rust lexer.
+//!
+//! The rules in this crate must never fire on text inside a comment, a
+//! doc-comment example, or a string literal (`"don't unwrap()"` is not a
+//! call), and conversely the env-var rule must see *only* string-literal
+//! contents. So the lexer splits every source line into three channels:
+//!
+//! * `code` — everything the compiler parses as tokens (string
+//!   delimiters stay, string *contents* are blanked),
+//! * `comment` — the text of `//`/`///`/`//!` and (nested) `/* */`
+//!   comments, which is where waiver markers and `SAFETY:` notes live,
+//! * `strings` — the contents of string/char/byte-string literals.
+//!
+//! After channel-splitting, a marking pass walks the
+//! code channel's brace structure and marks every line inside a
+//! `#[cfg(test)]` module or a `#[test]`/`#[bench]` function, so rules
+//! like `panic-discipline` can scope themselves to non-test product code.
+//!
+//! # Examples
+//!
+//! ```
+//! use guardnn_lint::lexer::LexedFile;
+//!
+//! let src = r#"
+//! fn main() {
+//!     let s = "call .unwrap() here"; // but never .expect() it
+//! }
+//! "#;
+//! let lexed = LexedFile::lex(src);
+//! // The call-looking text sits in the string/comment channels, not code:
+//! assert!(!lexed.lines.iter().any(|l| l.code.contains(".unwrap()")));
+//! assert!(lexed.lines.iter().any(|l| l.strings.contains(".unwrap()")));
+//! assert!(lexed.lines.iter().any(|l| l.comment.contains(".expect()")));
+//! ```
+
+/// One source line, split into the three channels.
+#[derive(Debug, Clone, Default)]
+pub struct LexedLine {
+    /// Compiler-visible tokens; string contents blanked, comments removed.
+    pub code: String,
+    /// Comment text (line, doc, and block comments).
+    pub comment: String,
+    /// Contents of string / raw-string / char / byte-string literals.
+    pub strings: String,
+    /// True when the line sits inside `#[cfg(test)]` / `#[test]` code.
+    pub is_test: bool,
+}
+
+/// A whole lexed source file (line numbers are 1-based: `lines[0]` is
+/// line 1).
+#[derive(Debug, Clone, Default)]
+pub struct LexedFile {
+    /// The channel-split lines in file order.
+    pub lines: Vec<LexedLine>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    CharLit,
+}
+
+impl LexedFile {
+    /// Lexes `source` into per-line channels and marks test regions.
+    pub fn lex(source: &str) -> Self {
+        let mut file = Self::split_channels(source);
+        file.mark_test_regions();
+        file
+    }
+
+    /// Channel-splitting pass (no test-region marking).
+    fn split_channels(source: &str) -> Self {
+        let chars: Vec<char> = source.chars().collect();
+        let mut lines = Vec::new();
+        let mut line = LexedLine::default();
+        let mut state = State::Code;
+        let mut prev_code: char = '\n';
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c == '\n' {
+                if state == State::LineComment {
+                    state = State::Code;
+                }
+                lines.push(std::mem::take(&mut line));
+                i += 1;
+                continue;
+            }
+            match state {
+                State::Code => {
+                    let next = chars.get(i + 1).copied();
+                    if c == '/' && next == Some('/') {
+                        state = State::LineComment;
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && next == Some('*') {
+                        state = State::BlockComment(1);
+                        i += 2;
+                        continue;
+                    }
+                    // Raw (byte) strings: r"..." / r#"..."# / br#"..."#,
+                    // but only when `r`/`b` starts a token (not `for"`).
+                    if (c == 'r' || c == 'b') && !is_ident(prev_code) {
+                        if let Some(hashes) = raw_string_open(&chars, i) {
+                            // Emit the opener to the code channel.
+                            let opener_len = chars[i..].iter().take_while(|&&x| x == 'b').count();
+                            let skip = opener_len + 1 + hashes as usize + 1;
+                            for &d in &chars[i..i + skip] {
+                                line.code.push(d);
+                            }
+                            prev_code = '"';
+                            state = State::RawStr(hashes);
+                            i += skip;
+                            continue;
+                        }
+                    }
+                    if c == '"' {
+                        line.code.push('"');
+                        prev_code = '"';
+                        state = State::Str;
+                        i += 1;
+                        continue;
+                    }
+                    if c == '\'' && !is_ident(prev_code) {
+                        // Char literal vs lifetime: 'x' / '\n' are
+                        // literals; 'a (no closing quote) is a lifetime.
+                        let is_char_lit = match next {
+                            Some('\\') => true,
+                            Some(_) => chars.get(i + 2).copied() == Some('\''),
+                            None => false,
+                        };
+                        if is_char_lit {
+                            line.code.push('\'');
+                            prev_code = '\'';
+                            state = State::CharLit;
+                            i += 1;
+                            continue;
+                        }
+                    }
+                    line.code.push(c);
+                    prev_code = c;
+                    i += 1;
+                }
+                State::LineComment => {
+                    line.comment.push(c);
+                    i += 1;
+                }
+                State::BlockComment(depth) => {
+                    let next = chars.get(i + 1).copied();
+                    if c == '/' && next == Some('*') {
+                        state = State::BlockComment(depth + 1);
+                        line.comment.push_str("/*");
+                        i += 2;
+                    } else if c == '*' && next == Some('/') {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::BlockComment(depth - 1)
+                        };
+                        i += 2;
+                    } else {
+                        line.comment.push(c);
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if c == '\\' {
+                        line.strings.push(c);
+                        match chars.get(i + 1) {
+                            // Line continuation: let the newline be
+                            // processed normally so the line still ends.
+                            Some('\n') | None => i += 1,
+                            Some(&esc) => {
+                                line.strings.push(esc);
+                                i += 2;
+                            }
+                        }
+                    } else if c == '"' {
+                        line.code.push('"');
+                        prev_code = '"';
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        line.strings.push(c);
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if c == '"' && closes_raw(&chars, i, hashes) {
+                        for &d in &chars[i..i + 1 + hashes as usize] {
+                            line.code.push(d);
+                        }
+                        prev_code = '"';
+                        state = State::Code;
+                        i += 1 + hashes as usize;
+                    } else {
+                        line.strings.push(c);
+                        i += 1;
+                    }
+                }
+                State::CharLit => {
+                    if c == '\\' {
+                        line.strings.push(c);
+                        if let Some(&esc) = chars.get(i + 1) {
+                            line.strings.push(esc);
+                        }
+                        i += 2;
+                    } else if c == '\'' {
+                        line.code.push('\'');
+                        prev_code = '\'';
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        line.strings.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        if !line.code.is_empty() || !line.comment.is_empty() || !line.strings.is_empty() {
+            lines.push(line);
+        }
+        LexedFile { lines }
+    }
+
+    /// Marks every line inside a `#[cfg(test)]` item or a
+    /// `#[test]`/`#[bench]` function as test code, by walking the code
+    /// channel's brace structure (strings are already blanked, so braces
+    /// in literals cannot confuse the depth counter).
+    fn mark_test_regions(&mut self) {
+        let mut depth: i64 = 0;
+        // Depth at which a test attribute was seen, waiting for `{`.
+        let mut pending: Option<i64> = None;
+        // While set, lines are test code until depth returns to this.
+        let mut active: Option<i64> = None;
+        for line in &mut self.lines {
+            let squashed: String = line.code.chars().filter(|c| !c.is_whitespace()).collect();
+            if active.is_none()
+                && pending.is_none()
+                && (squashed.contains("#[cfg(test)")
+                    || squashed.contains("#[cfg(all(test")
+                    || squashed.contains("#[test]")
+                    || squashed.contains("#[bench]"))
+            {
+                pending = Some(depth);
+                line.is_test = true;
+            }
+            if active.is_some() || pending.is_some() {
+                line.is_test = true;
+            }
+            for c in line.code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        if let Some(d) = pending {
+                            if active.is_none() {
+                                active = Some(d);
+                                pending = None;
+                            }
+                        }
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if active == Some(depth) {
+                            active = None;
+                        }
+                    }
+                    // An attribute that ends up on a braceless item
+                    // (e.g. `#[cfg(test)] use ...;`) resolves at the `;`.
+                    ';' if pending == Some(depth) && active.is_none() => {
+                        pending = None;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// When `chars[i]` starts a raw-string opener (`r`, `br` + `#`s + `"`),
+/// returns the number of `#`s.
+fn raw_string_open(chars: &[char], i: usize) -> Option<u32> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// When `chars[i]` is `"`, does it close a raw string with `hashes` `#`s?
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> String {
+        LexedFile::lex(src)
+            .lines
+            .iter()
+            .map(|l| l.code.clone())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn strings_and_comments_leave_the_code_channel() {
+        let src = "let a = \"x.unwrap()\"; // y.unwrap()\nlet b = a.unwrap();";
+        let code = code_of(src);
+        assert_eq!(code.matches(".unwrap()").count(), 1);
+        assert!(code.contains("let b = a.unwrap();"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let re = r#\"panic!(\"no\")\"#; panic!(\"yes\");";
+        let code = code_of(src);
+        assert_eq!(code.matches("panic!").count(), 1);
+        let lexed = LexedFile::lex(src);
+        assert!(lexed.lines[0].strings.contains("panic!(\"no\")"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let src = "let a = b\"unwrap()\"; let b = br##\"expect(\"##;";
+        let code = code_of(src);
+        assert!(!code.contains("unwrap()"));
+        assert!(!code.contains("expect("));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner.unwrap() */ still comment */ real();";
+        let code = code_of(src);
+        assert!(!code.contains("unwrap"));
+        assert!(code.contains("real();"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { let q = '\"'; let n = '\\n'; q }";
+        let code = code_of(src);
+        assert!(code.contains("fn f<'a>(x: &'a str)"));
+        // The quote chars must not open a string state that swallows code.
+        assert!(code.contains('q'));
+        let src2 = "let c = 'x'; still_code();";
+        assert!(code_of(src2).contains("still_code();"));
+    }
+
+    #[test]
+    fn multiline_string_blanks_every_line() {
+        let src = "let s = \"line one .unwrap()\nline two panic!\";\nafter();";
+        let code = code_of(src);
+        assert!(!code.contains("unwrap"));
+        assert!(!code.contains("panic!"));
+        assert!(code.contains("after();"));
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = "fn prod() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { y.unwrap(); }\n}\nfn prod2() {}";
+        let lexed = LexedFile::lex(src);
+        let flags: Vec<bool> = lexed.lines.iter().map(|l| l.is_test).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn test_fn_outside_module_is_marked() {
+        let src = "#[test]\nfn t() {\n    boom();\n}\nfn prod() {}";
+        let lexed = LexedFile::lex(src);
+        let flags: Vec<bool> = lexed.lines.iter().map(|l| l.is_test).collect();
+        assert_eq!(flags, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_attribute_on_braceless_item_resolves_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn prod() { x(); }";
+        let lexed = LexedFile::lex(src);
+        assert!(!lexed.lines[2].is_test);
+    }
+
+    #[test]
+    fn doc_comment_examples_are_comments() {
+        let src = "/// ```\n/// mem.read(0, 16, 42).unwrap();\n/// ```\npub fn read() {}";
+        let lexed = LexedFile::lex(src);
+        assert!(lexed.lines[1].comment.contains(".unwrap()"));
+        assert!(lexed.lines[1].code.trim().is_empty());
+    }
+}

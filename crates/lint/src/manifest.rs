@@ -1,0 +1,278 @@
+//! A hand-rolled reader for the subset of `Cargo.toml` this workspace
+//! uses (same zero-dependency tradition as the `guardnn-targets` YAML
+//! parser).
+//!
+//! Understands: `[section]` and `[[array-of-tables]]` headers, `key =
+//! "string"`, `key = true/false`, `key.workspace = true` dotted keys,
+//! inline tables (`key = { path = "..", version = ".." }`), single-line
+//! string arrays, *multi-line* string arrays (the root `members` list),
+//! and `#` comments. Anything fancier is not needed and reads as plain
+//! raw values.
+
+use std::collections::BTreeMap;
+
+/// A parsed manifest: section name → ordered key/value pairs, plus
+/// array-of-tables sections collected in order.
+#[derive(Debug, Clone, Default)]
+pub struct Manifest {
+    /// `[section]` → entries. Nested section headers keep their dotted
+    /// name verbatim (`workspace.lints.rust`).
+    pub sections: BTreeMap<String, Vec<(String, Value)>>,
+    /// `[[section]]` occurrences in file order, e.g. every `[[example]]`.
+    pub tables: Vec<(String, Vec<(String, Value)>)>,
+}
+
+/// A manifest value in the understood subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// An array of quoted strings.
+    StrArray(Vec<String>),
+    /// An inline table, flattened to its string-valued entries.
+    Inline(Vec<(String, String)>),
+    /// Anything else, kept verbatim.
+    Raw(String),
+}
+
+impl Manifest {
+    /// Parses manifest text. Unparseable lines are kept as [`Value::Raw`]
+    /// rather than failing: the linter reports on what it understands.
+    pub fn parse(text: &str) -> Self {
+        let mut m = Manifest::default();
+        let mut current = String::from("");
+        let mut in_array_table = false;
+        let mut lines = text.lines().peekable();
+        while let Some(raw) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+                current = name.trim().to_string();
+                in_array_table = true;
+                m.tables.push((current.clone(), Vec::new()));
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                current = name.trim().to_string();
+                in_array_table = false;
+                m.sections.entry(current.clone()).or_default();
+                continue;
+            }
+            let Some(eq) = line.find('=') else { continue };
+            let key = line[..eq].trim().to_string();
+            let mut rhs = line[eq + 1..].trim().to_string();
+            // Multi-line string array: keep consuming until the `]`.
+            if rhs.starts_with('[') && !rhs.ends_with(']') {
+                for cont in lines.by_ref() {
+                    let cont = strip_comment(cont);
+                    rhs.push(' ');
+                    rhs.push_str(cont.trim());
+                    if cont.trim_end().ends_with(']') {
+                        break;
+                    }
+                }
+            }
+            let value = parse_value(&rhs);
+            if in_array_table {
+                if let Some(last) = m.tables.last_mut() {
+                    last.1.push((key, value));
+                }
+            } else {
+                m.sections
+                    .entry(current.clone())
+                    .or_default()
+                    .push((key, value));
+            }
+        }
+        m
+    }
+
+    /// The `package.name` entry, when present.
+    pub fn package_name(&self) -> Option<&str> {
+        self.get("package", "name").and_then(|v| match v {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Looks up `key` in `[section]`.
+    pub fn get(&self, section: &str, key: &str) -> Option<&Value> {
+        self.sections
+            .get(section)?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// The dependency names listed under `[section]` (e.g.
+    /// `"dependencies"`, `"dev-dependencies"`). Dotted keys like
+    /// `guardnn.workspace` collapse to their first segment.
+    pub fn dep_names(&self, section: &str) -> Vec<String> {
+        let Some(entries) = self.sections.get(section) else {
+            return Vec::new();
+        };
+        let mut names: Vec<String> = Vec::new();
+        for (key, _) in entries {
+            let name = key.split('.').next().unwrap_or(key).to_string();
+            if !names.contains(&name) {
+                names.push(name);
+            }
+        }
+        names
+    }
+
+    /// The root workspace `members` array, when this is a workspace root.
+    pub fn workspace_members(&self) -> Vec<String> {
+        match self.get("workspace", "members") {
+            Some(Value::StrArray(items)) => items.clone(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A `#` inside a quoted string does not start a comment.
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (idx, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..idx],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+fn parse_value(rhs: &str) -> Value {
+    let rhs = rhs.trim();
+    if rhs == "true" {
+        return Value::Bool(true);
+    }
+    if rhs == "false" {
+        return Value::Bool(false);
+    }
+    if let Some(inner) = rhs.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
+        return Value::Str(inner.to_string());
+    }
+    if let Some(inner) = rhs.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+        let items: Vec<String> = inner
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .filter_map(|s| {
+                s.strip_prefix('"')
+                    .and_then(|x| x.strip_suffix('"'))
+                    .map(str::to_string)
+            })
+            .collect();
+        return Value::StrArray(items);
+    }
+    if let Some(inner) = rhs.strip_prefix('{').and_then(|s| s.strip_suffix('}')) {
+        let entries = inner
+            .split(',')
+            .filter_map(|pair| {
+                let (k, v) = pair.split_once('=')?;
+                let v = v.trim();
+                let v = v
+                    .strip_prefix('"')
+                    .and_then(|x| x.strip_suffix('"'))
+                    .unwrap_or(v);
+                Some((k.trim().to_string(), v.to_string()))
+            })
+            .collect();
+        return Value::Inline(entries);
+    }
+    Value::Raw(rhs.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+[package]
+name = "guardnn-demo" # trailing comment
+edition.workspace = true
+
+[dependencies]
+guardnn-crypto.workspace = true
+local = { path = "../local", version = "0.1" }
+
+[dev-dependencies]
+proptest.workspace = true
+
+[workspace]
+members = [
+    "crates/a",
+    "crates/b", # with comment
+]
+
+[[example]]
+name = "quickstart"
+path = "../../examples/quickstart.rs"
+
+[[example]]
+name = "demo"
+"#;
+
+    #[test]
+    fn reads_package_and_deps() {
+        let m = Manifest::parse(SAMPLE);
+        assert_eq!(m.package_name(), Some("guardnn-demo"));
+        assert_eq!(
+            m.dep_names("dependencies"),
+            vec!["guardnn-crypto".to_string(), "local".to_string()]
+        );
+        assert_eq!(
+            m.dep_names("dev-dependencies"),
+            vec!["proptest".to_string()]
+        );
+        assert_eq!(
+            m.get("dependencies", "local"),
+            Some(&Value::Inline(vec![
+                ("path".to_string(), "../local".to_string()),
+                ("version".to_string(), "0.1".to_string()),
+            ]))
+        );
+    }
+
+    #[test]
+    fn reads_multiline_members() {
+        let m = Manifest::parse(SAMPLE);
+        assert_eq!(
+            m.workspace_members(),
+            vec!["crates/a".to_string(), "crates/b".to_string()]
+        );
+    }
+
+    #[test]
+    fn collects_array_of_tables_in_order() {
+        let m = Manifest::parse(SAMPLE);
+        let examples: Vec<&str> = m
+            .tables
+            .iter()
+            .filter(|(s, _)| s == "example")
+            .filter_map(|(_, kv)| {
+                kv.iter()
+                    .find(|(k, _)| k == "name")
+                    .and_then(|(_, v)| match v {
+                        Value::Str(s) => Some(s.as_str()),
+                        _ => None,
+                    })
+            })
+            .collect();
+        assert_eq!(examples, vec!["quickstart", "demo"]);
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let m = Manifest::parse("[package]\nname = \"a#b\"\n");
+        assert_eq!(m.package_name(), Some("a#b"));
+    }
+}

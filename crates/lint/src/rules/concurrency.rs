@@ -1,0 +1,72 @@
+//! `concurrency`: no bare `std::thread::spawn`, no `static mut`, and
+//! every `unsafe` block carries a `// SAFETY:` comment.
+//!
+//! Everything concurrent in this workspace goes through
+//! `std::thread::scope` — that is what makes the threaded DRAM pipeline
+//! (PR 4) and the parallel evaluators joinable-by-construction, with no
+//! detached worker outliving the data it borrows. `static mut` is
+//! undefendable under those scoped threads, and an undocumented `unsafe`
+//! block is an unreviewable one.
+
+use crate::diag::Diagnostic;
+use crate::rules::find_tokens;
+use crate::workspace::{CrateKind, Workspace};
+
+/// How many lines above an `unsafe` token a `SAFETY:` comment may sit.
+const SAFETY_LOOKBACK: usize = 3;
+
+/// Runs the rule over every non-shim file (tests included: a detached
+/// thread or an undocumented `unsafe` is wrong anywhere).
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for c in &ws.crates {
+        if c.kind == CrateKind::Shim {
+            continue;
+        }
+        for f in &c.files {
+            for (idx, line) in f.lexed.lines.iter().enumerate() {
+                let lineno = idx + 1;
+                if line.code.contains("thread::spawn(") {
+                    out.push(Diagnostic {
+                        krate: c.package.clone(),
+                        file: f.rel_path.clone(),
+                        line: lineno,
+                        rule: "concurrency",
+                        message: "bare `std::thread::spawn`: use \
+                                  `std::thread::scope` so every worker joins \
+                                  before the owning frame returns"
+                            .to_string(),
+                    });
+                }
+                if line.code.contains("static mut ") {
+                    out.push(Diagnostic {
+                        krate: c.package.clone(),
+                        file: f.rel_path.clone(),
+                        line: lineno,
+                        rule: "concurrency",
+                        message: "`static mut` is forbidden: use interior \
+                                  mutability behind a safe API"
+                            .to_string(),
+                    });
+                }
+                if !find_tokens(&line.code, "unsafe").is_empty() {
+                    let covered = f.lexed.lines[idx.saturating_sub(SAFETY_LOOKBACK)..=idx]
+                        .iter()
+                        .any(|l| l.comment.contains("SAFETY:"));
+                    if !covered {
+                        out.push(Diagnostic {
+                            krate: c.package.clone(),
+                            file: f.rel_path.clone(),
+                            line: lineno,
+                            rule: "concurrency",
+                            message: "`unsafe` without a `// SAFETY:` comment \
+                                      on or directly above the block"
+                                .to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}

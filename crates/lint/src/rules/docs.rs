@@ -1,0 +1,55 @@
+//! `docs`: every product crate root carries `#![deny(missing_docs)]`
+//! and opts into the workspace lint table.
+//!
+//! `cargo doc` renders what exists; only `deny(missing_docs)` makes a
+//! *new* undocumented public item a build failure. The `[lints]
+//! workspace = true` opt-in keeps every crate on the pinned rustc/clippy
+//! levels in the root `[workspace.lints]` table, so one crate cannot
+//! quietly drift to laxer settings.
+
+use crate::diag::Diagnostic;
+use crate::manifest::Value;
+use crate::workspace::{CrateKind, Workspace};
+
+/// Runs the rule over every product (and test-harness) crate.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for c in &ws.crates {
+        if c.kind == CrateKind::Shim {
+            continue;
+        }
+        if let Some(root) = c.files.iter().find(|f| f.rel_path == "src/lib.rs") {
+            let has_deny = root.lexed.lines.iter().any(|l| {
+                let squashed: String = l.code.chars().filter(|c| !c.is_whitespace()).collect();
+                squashed.contains("#![deny(missing_docs)]")
+            });
+            if !has_deny {
+                out.push(Diagnostic {
+                    krate: c.package.clone(),
+                    file: "src/lib.rs".to_string(),
+                    line: 1,
+                    rule: "docs",
+                    message: "crate root lacks `#![deny(missing_docs)]` — \
+                              undocumented public items must fail the build"
+                        .to_string(),
+                });
+            }
+        }
+        let opted_in = matches!(
+            c.manifest.get("lints", "workspace"),
+            Some(Value::Bool(true))
+        );
+        if !opted_in {
+            out.push(Diagnostic {
+                krate: c.package.clone(),
+                file: "Cargo.toml".to_string(),
+                line: 0,
+                rule: "docs",
+                message: "manifest lacks `[lints] workspace = true` — the \
+                          crate drifts off the pinned workspace lint levels"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,143 @@
+//! `env-registry`: every `GUARDNN_*` environment variable referenced in
+//! product code must appear in the ARCHITECTURE.md registry table — and
+//! every registry row must still be backed by code.
+//!
+//! Knobs like `GUARDNN_PARALLELISM` and `GUARDNN_CHANNEL_MODE` change
+//! what a "default" run measures; an undocumented one is an invisible
+//! config surface. The registry lives under the
+//! `## Environment-variable registry` heading; the rule scans
+//! string-literal contents (the only place an env-var name can reach
+//! `std::env::var`), so doc-comment mentions never count as reads.
+
+use std::collections::BTreeSet;
+
+use crate::diag::Diagnostic;
+use crate::workspace::{CrateKind, FileKind, Workspace};
+
+/// The heading that opens the registry section in ARCHITECTURE.md.
+pub const REGISTRY_HEADING: &str = "## Environment-variable registry";
+
+/// Runs the rule over product/harness code + ARCHITECTURE.md.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let registered = ws
+        .architecture
+        .as_deref()
+        .map(registry_entries)
+        .unwrap_or_default();
+
+    // Forward: every non-test read must be registered.
+    let mut all_refs: BTreeSet<String> = BTreeSet::new();
+    for c in &ws.crates {
+        if c.kind == CrateKind::Shim {
+            continue;
+        }
+        for f in &c.files {
+            for (idx, line) in f.lexed.lines.iter().enumerate() {
+                for var in guardnn_vars(&line.strings) {
+                    all_refs.insert(var.clone());
+                    let product_site =
+                        matches!(f.kind, FileKind::Lib | FileKind::Bin) && !line.is_test;
+                    if product_site && !registered.contains(&var) {
+                        out.push(Diagnostic {
+                            krate: c.package.clone(),
+                            file: f.rel_path.clone(),
+                            line: idx + 1,
+                            rule: "env-registry",
+                            message: format!(
+                                "`{var}` is not in the ARCHITECTURE.md \
+                                 environment-variable registry — document the \
+                                 knob before shipping it"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Reverse: a registry row no code references is stale.
+    for var in &registered {
+        if !all_refs.contains(var) {
+            out.push(Diagnostic {
+                krate: "workspace".to_string(),
+                file: "ARCHITECTURE.md".to_string(),
+                line: 0,
+                rule: "env-registry",
+                message: format!(
+                    "registry documents `{var}` but no code references it — \
+                     remove the stale row"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// `GUARDNN_*` names documented in the registry section.
+fn registry_entries(arch: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut in_section = false;
+    for line in arch.lines() {
+        if line.trim_start().starts_with("## ") {
+            in_section = line.trim() == REGISTRY_HEADING;
+            continue;
+        }
+        if in_section {
+            for var in guardnn_vars(line) {
+                out.insert(var);
+            }
+        }
+    }
+    out
+}
+
+/// Extracts every `GUARDNN_[A-Z0-9_]+` token from `text`.
+fn guardnn_vars(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("GUARDNN_") {
+        let tail = &rest[pos..];
+        let len = tail
+            .chars()
+            .take_while(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || *c == '_')
+            .map(char::len_utf8)
+            .sum::<usize>();
+        let name = &tail[..len];
+        // Trim trailing underscores so `GUARDNN_` alone is not a var.
+        let name = name.trim_end_matches('_');
+        if name.len() > "GUARDNN".len() + 1 {
+            out.push(name.to_string());
+        }
+        rest = &rest[pos + "GUARDNN_".len()..];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_vars() {
+        assert_eq!(
+            guardnn_vars("set GUARDNN_PARALLELISM=2 and GUARDNN_CHANNEL_MODE"),
+            vec![
+                "GUARDNN_PARALLELISM".to_string(),
+                "GUARDNN_CHANNEL_MODE".to_string()
+            ]
+        );
+        assert!(guardnn_vars("GUARDNN_ alone").is_empty());
+    }
+
+    #[test]
+    fn registry_section_is_bounded_by_headings() {
+        let arch = "## Environment-variable registry\n\
+                    | `GUARDNN_PARALLELISM` | ... |\n\
+                    ## Next section\n\
+                    | `GUARDNN_NOT_REGISTERED` | ... |\n";
+        let reg = registry_entries(arch);
+        assert!(reg.contains("GUARDNN_PARALLELISM"));
+        assert!(!reg.contains("GUARDNN_NOT_REGISTERED"));
+    }
+}

@@ -1,0 +1,143 @@
+//! `error-enum`: every public `*Error` enum implements `Display`, and
+//! scheme-facing errors (crate `guardnn`) also expose `name()`.
+//!
+//! The chaos harness keys its detection-assertion tables on
+//! `GuardNnError::name()` — "assert *which* check fired" — and every
+//! report table renders errors through `Display`. An error enum missing
+//! either breaks those contracts the moment someone matches on it.
+
+use crate::diag::Diagnostic;
+use crate::workspace::{CrateKind, FileKind, Workspace};
+
+/// Runs the rule over every product crate's library sources.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for c in &ws.crates {
+        if c.kind != CrateKind::Product {
+            continue;
+        }
+        // Gather declarations and impl evidence across the whole crate:
+        // the enum and its impls legitimately live in different files.
+        let mut decls: Vec<(String, String, usize)> = Vec::new(); // (name, file, line)
+        let mut display_impls: Vec<String> = Vec::new();
+        let mut named_impls: Vec<String> = Vec::new();
+        for f in &c.files {
+            if f.kind != FileKind::Lib {
+                continue;
+            }
+            for (idx, line) in f.lexed.lines.iter().enumerate() {
+                if line.is_test {
+                    continue;
+                }
+                if let Some(name) = public_error_enum(&line.code) {
+                    decls.push((name, f.rel_path.clone(), idx + 1));
+                }
+                if let Some(name) = display_impl_target(&line.code) {
+                    display_impls.push(name);
+                }
+            }
+            named_impls.extend(inherent_impls_with_name(f));
+        }
+        for (name, file, lineno) in decls {
+            if !display_impls.contains(&name) {
+                out.push(Diagnostic {
+                    krate: c.package.clone(),
+                    file: file.clone(),
+                    line: lineno,
+                    rule: "error-enum",
+                    message: format!(
+                        "public error enum `{name}` has no `impl Display` in \
+                         this crate — report tables render errors through it"
+                    ),
+                });
+            }
+            if c.package == "guardnn" && !named_impls.contains(&name) {
+                out.push(Diagnostic {
+                    krate: c.package.clone(),
+                    file,
+                    line: lineno,
+                    rule: "error-enum",
+                    message: format!(
+                        "scheme-facing error enum `{name}` has no `pub fn \
+                         name()` — the chaos harness keys its assertions on it"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// When `code` declares a public enum whose name ends in `Error`,
+/// returns the name.
+fn public_error_enum(code: &str) -> Option<String> {
+    let pos = code.find("pub enum ")?;
+    let name: String = code[pos + "pub enum ".len()..]
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (name.ends_with("Error") && name.len() > "Error".len()).then_some(name)
+}
+
+/// When `code` opens `impl ... Display for <Name>`, returns the name.
+fn display_impl_target(code: &str) -> Option<String> {
+    let pos = code.find("Display for ")?;
+    if !code[..pos].contains("impl ") {
+        return None;
+    }
+    let name: String = code[pos + "Display for ".len()..]
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// Names of types with an inherent `impl <Name> {` block containing a
+/// `pub fn name(` item, found by brace-depth scanning.
+fn inherent_impls_with_name(f: &crate::workspace::SourceFile) -> Vec<String> {
+    let mut out = Vec::new();
+    let lines = &f.lexed.lines;
+    for (idx, line) in lines.iter().enumerate() {
+        let Some(target) = inherent_impl_target(&line.code) else {
+            continue;
+        };
+        // Scan the block: depth goes +1 at the impl `{`, back to 0 at
+        // its closing brace.
+        let mut depth: i64 = 0;
+        let mut entered = false;
+        'block: for scan in &lines[idx..] {
+            if entered && depth > 0 && scan.code.contains("fn name(") {
+                out.push(target);
+                break 'block;
+            }
+            for ch in scan.code.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if entered && depth == 0 {
+                            break 'block;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+/// When `code` opens an inherent impl (`impl <Name> {`, no `for`),
+/// returns the name.
+fn inherent_impl_target(code: &str) -> Option<String> {
+    let trimmed = code.trim_start();
+    let rest = trimmed.strip_prefix("impl ")?;
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty() && !rest[name.len()..].trim_start().starts_with("for ")).then_some(name)
+}

@@ -1,0 +1,158 @@
+//! `layering`: the Cargo dependency graph must match the layer order
+//! declared in ARCHITECTURE.md.
+//!
+//! ARCHITECTURE.md carries a machine-readable `layers:` block (see the
+//! "Layer order" section there); a crate's `[dependencies]` and
+//! `[build-dependencies]` may only name crates in *strictly lower*
+//! layers. That is what keeps `guardnn-targets` a leaf (layer 0 has
+//! nothing below it) and the `tests → bench` edge acyclic. The offline
+//! dependency shims may appear only under `[dev-dependencies]`: a shim
+//! in the product graph would silently ship the stand-in.
+
+use std::collections::BTreeMap;
+
+use crate::diag::Diagnostic;
+use crate::workspace::{CrateKind, Workspace};
+
+/// Runs the rule over the manifests + ARCHITECTURE.md.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let ws_diag = |line: usize, message: String| Diagnostic {
+        krate: "workspace".to_string(),
+        file: "ARCHITECTURE.md".to_string(),
+        line,
+        rule: "layering",
+        message,
+    };
+    let Some(arch) = &ws.architecture else {
+        out.push(ws_diag(
+            0,
+            "ARCHITECTURE.md not found at the workspace root".into(),
+        ));
+        return out;
+    };
+    let layers = parse_layers(arch);
+    if layers.is_empty() {
+        out.push(ws_diag(
+            0,
+            "no `layers:` block found in ARCHITECTURE.md — the layering \
+             rule needs the declared layer order"
+                .into(),
+        ));
+        return out;
+    }
+
+    let members: Vec<&str> = ws
+        .crates
+        .iter()
+        .filter(|c| c.kind != CrateKind::Shim)
+        .map(|c| c.package.as_str())
+        .collect();
+    let shims: Vec<&str> = ws
+        .crates
+        .iter()
+        .filter(|c| c.kind == CrateKind::Shim)
+        .map(|c| c.package.as_str())
+        .collect();
+
+    // Both directions: every member is placed, every placement is real.
+    for m in &members {
+        if !layers.contains_key(*m) {
+            out.push(ws_diag(
+                0,
+                format!("workspace member `{m}` is missing from the layer order"),
+            ));
+        }
+    }
+    for name in layers.keys() {
+        if !members.contains(&name.as_str()) {
+            out.push(ws_diag(
+                0,
+                format!("layer order names `{name}`, which is not a workspace member"),
+            ));
+        }
+    }
+
+    for c in &ws.crates {
+        if c.kind == CrateKind::Shim {
+            continue;
+        }
+        let Some(&my_layer) = layers.get(&c.package) else {
+            continue;
+        };
+        let manifest_diag = |message: String| Diagnostic {
+            krate: c.package.clone(),
+            file: "Cargo.toml".to_string(),
+            line: 0,
+            rule: "layering",
+            message,
+        };
+        for section in ["dependencies", "build-dependencies"] {
+            for dep in c.manifest.dep_names(section) {
+                if shims.contains(&dep.as_str()) {
+                    out.push(manifest_diag(format!(
+                        "shim `{dep}` under [{section}]: shims may only be \
+                         [dev-dependencies], or the stand-in ships in the product"
+                    )));
+                    continue;
+                }
+                let Some(&dep_layer) = layers.get(&dep) else {
+                    continue; // not a workspace crate
+                };
+                if dep_layer >= my_layer {
+                    out.push(manifest_diag(format!(
+                        "`{dep}` (layer {dep_layer}) under [{section}] breaks \
+                         the layer order: `{}` is layer {my_layer} and may only \
+                         depend downward",
+                        c.package
+                    )));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parses the `layers:` block: lines of `N: name name ...` directly
+/// following a line that starts with `layers:`. Returns crate → layer.
+fn parse_layers(arch: &str) -> BTreeMap<String, u32> {
+    let mut out = BTreeMap::new();
+    let mut in_block = false;
+    for line in arch.lines() {
+        let t = line.trim();
+        if !in_block {
+            in_block = t == "layers:";
+            continue;
+        }
+        let Some((level, names)) = t.split_once(':') else {
+            break; // first non-`N: ...` line ends the block
+        };
+        let Ok(level) = level.trim().parse::<u32>() else {
+            break;
+        };
+        for name in names.split_whitespace() {
+            out.insert(name.to_string(), level);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_layer_block() {
+        let arch = "intro\n```text\nlayers:\n  0: a b\n  1: c\n```\nafter\n";
+        let layers = parse_layers(arch);
+        assert_eq!(layers.get("a"), Some(&0));
+        assert_eq!(layers.get("b"), Some(&0));
+        assert_eq!(layers.get("c"), Some(&1));
+        assert_eq!(layers.len(), 3);
+    }
+
+    #[test]
+    fn empty_when_no_block() {
+        assert!(parse_layers("nothing here\n").is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! `panic-discipline`: no `unwrap`/`expect`/`panic!`/`unreachable!`/
+//! `todo!`/`unimplemented!` in non-test product code.
+//!
+//! The chaos matrix (PR 5) asserts *which* typed `GuardNnError` every
+//! tampered cell surfaces; a stray panic turns a detectable fault into a
+//! process abort and silently erodes that claim. Reachable failures must
+//! flow through `GuardNnError`/`TargetError`; provably infallible sites
+//! may be waived with `// lint:allow(panic-discipline) — reason`.
+
+use crate::diag::Diagnostic;
+use crate::rules::find_tokens;
+use crate::workspace::{CrateKind, FileKind, Workspace};
+
+/// The forbidden tokens, matched against the code channel only.
+const TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+/// Runs the rule over every product crate's lib/bin sources.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for c in &ws.crates {
+        if c.kind != CrateKind::Product {
+            continue;
+        }
+        for f in &c.files {
+            if !matches!(f.kind, FileKind::Lib | FileKind::Bin) {
+                continue;
+            }
+            for (idx, line) in f.lexed.lines.iter().enumerate() {
+                if line.is_test {
+                    continue;
+                }
+                for token in TOKENS {
+                    for _pos in find_tokens(&line.code, token) {
+                        out.push(Diagnostic {
+                            krate: c.package.clone(),
+                            file: f.rel_path.clone(),
+                            line: idx + 1,
+                            rule: "panic-discipline",
+                            message: format!(
+                                "`{token}` in non-test product code: surface a \
+                                 typed error (GuardNnError/TargetError) instead, \
+                                 or waive with a justification"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}

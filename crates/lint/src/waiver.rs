@@ -1,0 +1,169 @@
+//! Per-site waivers: `// lint:allow(rule-id) — reason`.
+//!
+//! A waiver suppresses one rule at one site and must carry a reason (the
+//! text after an `—`/`--` separator). It applies to the line it sits on
+//! (trailing comment) or, when it is the only thing on its line, to the
+//! next line. The engine tracks use: a waiver that suppresses nothing is
+//! itself a `waiver` diagnostic, so stale waivers cannot accumulate.
+
+use crate::diag::Diagnostic;
+use crate::lexer::LexedFile;
+
+/// One parsed waiver marker.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// The rule id the waiver targets.
+    pub rule: String,
+    /// 1-based line the marker sits on.
+    pub marker_line: usize,
+    /// 1-based line the waiver applies to.
+    pub target_line: usize,
+    /// Whether a non-empty reason followed the separator.
+    pub has_reason: bool,
+    /// Set when the waiver suppressed a diagnostic.
+    pub used: bool,
+}
+
+/// All waivers of one source file.
+#[derive(Debug, Clone, Default)]
+pub struct FileWaivers {
+    /// Parsed markers in file order.
+    pub waivers: Vec<Waiver>,
+}
+
+impl FileWaivers {
+    /// Scans the comment channel of a lexed file for waiver markers.
+    pub fn collect(lexed: &LexedFile) -> Self {
+        let mut waivers = Vec::new();
+        for (idx, line) in lexed.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            // A marker must *begin* the comment (`// lint:allow(...)`);
+            // prose that merely mentions the syntax (like this crate's
+            // own docs) never parses as a waiver.
+            let comment = line.comment.trim_start();
+            let Some(rest) = comment.strip_prefix("lint:allow(") else {
+                continue;
+            };
+            let Some(close) = rest.find(')') else {
+                continue;
+            };
+            let rule = rest[..close].trim().to_string();
+            let after = rest[close + 1..].trim_start();
+            let has_reason = ["—", "--", "–"].iter().any(|sep| {
+                after
+                    .strip_prefix(sep)
+                    .is_some_and(|r| !r.trim().is_empty())
+            });
+            // Trailing comment → waives its own line; standalone comment
+            // line → waives the next line.
+            let target_line = if line.code.trim().is_empty() {
+                lineno + 1
+            } else {
+                lineno
+            };
+            waivers.push(Waiver {
+                rule,
+                marker_line: lineno,
+                target_line,
+                has_reason,
+                used: false,
+            });
+        }
+        FileWaivers { waivers }
+    }
+
+    /// Attempts to waive a diagnostic for `rule` at `line`; returns true
+    /// (and marks the waiver used) when a matching marker covers it.
+    pub fn try_waive(&mut self, rule: &str, line: usize) -> bool {
+        for w in &mut self.waivers {
+            if w.rule == rule && w.target_line == line && w.has_reason {
+                w.used = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Post-pass diagnostics: malformed (reason-less) and unused waivers.
+    pub fn audit(&self, krate: &str, file: &str) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for w in &self.waivers {
+            if !w.has_reason {
+                out.push(Diagnostic {
+                    krate: krate.to_string(),
+                    file: file.to_string(),
+                    line: w.marker_line,
+                    rule: "waiver",
+                    message: format!(
+                        "waiver for `{}` has no reason; write \
+                         `// lint:allow({}) — why this site is sound`",
+                        w.rule, w.rule
+                    ),
+                });
+            } else if !w.used {
+                out.push(Diagnostic {
+                    krate: krate.to_string(),
+                    file: file.to_string(),
+                    line: w.marker_line,
+                    rule: "waiver",
+                    message: format!(
+                        "unused waiver: `{}` does not fire on line {} — remove it",
+                        w.rule, w.target_line
+                    ),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(src: &str) -> LexedFile {
+        LexedFile::lex(src)
+    }
+
+    #[test]
+    fn trailing_waiver_covers_its_own_line() {
+        let src = "x.unwrap(); // lint:allow(panic-discipline) — provably infallible\n";
+        let mut w = FileWaivers::collect(&lex(src));
+        assert!(w.try_waive("panic-discipline", 1));
+        assert!(w.audit("c", "f.rs").is_empty());
+    }
+
+    #[test]
+    fn standalone_waiver_covers_the_next_line() {
+        let src = "// lint:allow(concurrency) -- scoped by caller\nthread::spawn(f);\n";
+        let mut w = FileWaivers::collect(&lex(src));
+        assert!(!w.try_waive("concurrency", 1));
+        assert!(w.try_waive("concurrency", 2));
+    }
+
+    #[test]
+    fn missing_reason_is_flagged_and_does_not_waive() {
+        let src = "x.unwrap(); // lint:allow(panic-discipline)\n";
+        let mut w = FileWaivers::collect(&lex(src));
+        assert!(!w.try_waive("panic-discipline", 1));
+        let audit = w.audit("c", "f.rs");
+        assert_eq!(audit.len(), 1);
+        assert!(audit[0].message.contains("no reason"));
+    }
+
+    #[test]
+    fn unused_waiver_is_flagged() {
+        let src = "// lint:allow(panic-discipline) — stale\nlet a = 1;\n";
+        let w = FileWaivers::collect(&lex(src));
+        let audit = w.audit("c", "f.rs");
+        assert_eq!(audit.len(), 1);
+        assert!(audit[0].message.contains("unused waiver"));
+    }
+
+    #[test]
+    fn wrong_rule_does_not_waive() {
+        let src = "x.unwrap(); // lint:allow(concurrency) — wrong rule\n";
+        let mut w = FileWaivers::collect(&lex(src));
+        assert!(!w.try_waive("panic-discipline", 1));
+    }
+}

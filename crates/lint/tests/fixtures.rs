@@ -1,0 +1,75 @@
+//! Drives the full analysis over every fixture workspace in
+//! `fixtures/` and checks the diagnostics against each `EXPECT` file.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+/// `crate::file:line: rule-id` for every diagnostic, sorted.
+fn keys(diags: &[guardnn_lint::diag::Diagnostic]) -> Vec<String> {
+    let mut out: Vec<String> = diags
+        .iter()
+        .map(|d| format!("{}::{}:{}: {}", d.krate, d.file, d.line, d.rule))
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn every_fixture_fires_exactly_its_expected_diagnostics() {
+    let mut fixtures: Vec<PathBuf> = fs::read_dir(fixtures_dir())
+        .expect("fixtures dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.is_dir())
+        .collect();
+    fixtures.sort();
+    assert!(
+        fixtures.len() >= 14,
+        "fixture corpus shrank: found {}",
+        fixtures.len()
+    );
+    for dir in fixtures {
+        let name = dir
+            .file_name()
+            .expect("fixture name")
+            .to_string_lossy()
+            .to_string();
+        let diags = guardnn_lint::lint_root(&dir).unwrap_or_else(|e| panic!("fixture {name}: {e}"));
+        let mut expected: Vec<String> = fs::read_to_string(dir.join("EXPECT"))
+            .unwrap_or_else(|e| panic!("fixture {name} has no EXPECT file: {e}"))
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .map(str::to_string)
+            .collect();
+        expected.sort();
+        assert_eq!(
+            keys(&diags),
+            expected,
+            "fixture {name}: diagnostics diverge from EXPECT\nfull output:\n{}",
+            diags.iter().map(|d| format!("  {d}\n")).collect::<String>()
+        );
+    }
+}
+
+#[test]
+fn every_waivable_rule_has_a_firing_fixture() {
+    let fixture_names: Vec<String> = fs::read_dir(fixtures_dir())
+        .expect("fixtures dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.is_dir())
+        .filter_map(|p| fs::read_to_string(p.join("EXPECT")).ok())
+        .collect();
+    for rule in guardnn_lint::rules::RULES {
+        assert!(
+            fixture_names
+                .iter()
+                .any(|expect| expect.contains(&format!(": {}", rule.id))),
+            "rule `{}` has no fixture that fires it",
+            rule.id
+        );
+    }
+}

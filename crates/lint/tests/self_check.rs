@@ -1,0 +1,20 @@
+//! The workspace must lint clean against its own rules: this test is
+//! the committed proof that every waiver in HEAD carries a reason and
+//! suppresses something real.
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let diags = guardnn_lint::lint_root(&root).expect("lint the workspace");
+    assert!(
+        diags.is_empty(),
+        "guardnn-lint found {} diagnostic(s) on the workspace:\n{}",
+        diags.len(),
+        diags.iter().map(|d| format!("  {d}\n")).collect::<String>()
+    );
+}

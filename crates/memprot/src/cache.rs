@@ -103,6 +103,7 @@ impl MetaCache {
                 .enumerate()
                 .min_by_key(|(_, l)| l.used)
                 .map(|(i, _)| i)
+                // lint:allow(panic-discipline) — set.len() == ways > 0 was checked just above
                 .expect("set is full");
             let victim = set.swap_remove(lru);
             if victim.dirty {

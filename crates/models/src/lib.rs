@@ -25,6 +25,8 @@
 //! assert!(vgg.param_count() > 130_000_000); // ~138M parameters
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod graph;
 pub mod layer;
 pub mod network;

@@ -3,6 +3,14 @@
 //! Shapes follow the standard published architectures (ImageNet variants
 //! where applicable). Exact parameter counts are asserted against published
 //! figures in each module's tests.
+//!
+//! ```
+//! use guardnn_models::zoo;
+//!
+//! let net = zoo::by_name("vgg").unwrap();
+//! assert!(!net.layers().is_empty());
+//! assert_eq!(zoo::figure3_inference_suite().len(), 9);
+//! ```
 
 mod alexnet;
 mod bert;

@@ -27,6 +27,7 @@ pub fn vgg16() -> Network {
             ));
         }
         let out_hw = hw / 2;
+        // lint:allow(panic-discipline) — every VGG block lists at least one conv layer
         let out_c = convs.last().expect("nonempty").1;
         layers.push(Layer::new(
             format!("pool{}", b + 1),

@@ -26,6 +26,8 @@
 //! assert!(perf.utilization() > 0.5);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod config;
 pub mod engine;
 pub mod stream;

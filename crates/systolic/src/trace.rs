@@ -295,6 +295,7 @@ impl TraceBuilder {
             }
             _ => {
                 // GEMM-class pass.
+                // lint:allow(panic-discipline) — this match arm handles only GEMM-class passes
                 let gemm = plan.gemm(pass).expect("conv/gemm pass maps to GEMM");
                 let traffic = gemm_traffic(&self.cfg, gemm);
                 let perf = simulate_gemm(&self.cfg, gemm);
@@ -309,6 +310,7 @@ impl TraceBuilder {
                     PassKind::BackwardWeight => {
                         (self.feat_base[li], layer.input_elems() * b * batch)
                     }
+                    // lint:allow(panic-discipline) — WeightUpdate passes take the arm above
                     PassKind::WeightUpdate => unreachable!("handled above"),
                 };
 

@@ -121,6 +121,7 @@ fn cmd_new(args: &[String]) -> Result<(), String> {
                     "--array-clock-mhz" => u64_knobs.push(("array_clock", v)),
                     "--dsps" => u64_knobs.push(("dsps", v)),
                     "--aes-engines" => u64_knobs.push(("aes_engines", v)),
+                    // lint:allow(panic-discipline) — keys are the literals matched just above
                     _ => unreachable!(),
                 }
             }
@@ -144,6 +145,7 @@ fn cmd_new(args: &[String]) -> Result<(), String> {
             "array_clock" => target.array.clock_mhz = v,
             "dsps" => target.fpga.dsps = v,
             "aes_engines" => target.fpga.aes_engines = v,
+            // lint:allow(panic-discipline) — knob keys come from the literal arms above
             _ => unreachable!(),
         }
     }

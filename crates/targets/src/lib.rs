@@ -22,7 +22,7 @@
 //! assert_eq!(again, *target);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod registry;
 pub mod target;

@@ -5,6 +5,12 @@
 //! (`std::sync::OnceLock`), so lookups are cheap and a malformed embedded
 //! file fails every test rather than one code path. Adding a hardware
 //! point is: drop a file in `targets/`, add one line to `EMBEDDED`.
+//!
+//! ```
+//! let target = guardnn_targets::get("guardnn-paper").unwrap();
+//! assert_eq!(target.name, "guardnn-paper");
+//! assert!(guardnn_targets::get("no-such-target").is_err());
+//! ```
 
 use crate::{HardwareTarget, TargetError};
 use std::sync::OnceLock;
@@ -29,6 +35,7 @@ fn parsed() -> &'static [HardwareTarget] {
             .iter()
             .map(|(name, src)| {
                 let target = HardwareTarget::parse(src)
+                    // lint:allow(panic-discipline) — embedded static data, validated by tier-1 tests
                     .unwrap_or_else(|e| panic!("embedded target {name:?} is malformed: {e}"));
                 assert_eq!(
                     target.name, *name,

@@ -8,6 +8,6 @@
 //! harness is a library so both the in-tree chaos tests and the
 //! `guardnn-bench` `chaos` binary drive the exact same matrix.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod chaos;
