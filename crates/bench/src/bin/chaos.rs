@@ -11,13 +11,21 @@
 //! chaos full     # same
 //! chaos slice    # the fixed CI subset (seconds) — what the smoke job runs
 //! ```
+//!
+//! `--bench-out FILE` additionally writes a machine-readable verdict
+//! summary (cell/perf pass counts, failures, wall-clock) to FILE,
+//! extending the per-PR `BENCH_*.json` trajectory.
 
 use std::process::ExitCode;
 
+use guardnn_bench::flag_value;
+use guardnn_bench::json::Json;
 use guardnn_tests::chaos::{run_matrix, MatrixConfig};
 
 fn main() -> ExitCode {
-    let mode = std::env::args().nth(1).unwrap_or_else(|| "full".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench_out = flag_value(&args, "--bench-out");
+    let mode = guardnn_bench::positional(&args).unwrap_or_else(|| "full".into());
     let cfg = match mode.as_str() {
         "full" => MatrixConfig::full(),
         "slice" => MatrixConfig::ci_slice(),
@@ -26,6 +34,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let started = std::time::Instant::now();
     println!(
         "chaos matrix ({mode}): {} scenario families x {} schemes x {} combos",
         cfg.scenarios.len(),
@@ -34,6 +43,43 @@ fn main() -> ExitCode {
     );
     let report = run_matrix(&cfg);
     println!("{}", report.render());
+    if let Some(path) = bench_out {
+        let doc = Json::obj()
+            .field("bench", "chaos")
+            .field("mode", mode.as_str())
+            .field("wall_s", started.elapsed().as_secs_f64())
+            .field("cells", report.cells.len() as u64)
+            .field(
+                "cells_passed",
+                report.cells.iter().filter(|c| c.pass()).count() as u64,
+            )
+            .field("perf_cells", report.perf.len() as u64)
+            .field(
+                "perf_cells_passed",
+                report.perf.iter().filter(|p| p.pass()).count() as u64,
+            )
+            .field(
+                "invariance_failures",
+                report.invariance_failures.len() as u64,
+            )
+            .field("passed", report.passed())
+            .field(
+                "failures",
+                report
+                    .failures()
+                    .into_iter()
+                    .map(Json::from)
+                    .collect::<Vec<Json>>(),
+            );
+        // Trailing newline keeps the committed artifact diff-friendly.
+        match std::fs::write(&path, doc.render() + "\n") {
+            Ok(()) => println!("wrote benchmark record to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if report.passed() {
         ExitCode::SUCCESS
     } else {

@@ -3,8 +3,12 @@
 //! TPU-v1-class simulated accelerator with 16 GB DDR4.
 //!
 //! Run with
-//! `cargo run --release -p guardnn-bench --bin fig3 -- [inference|training|both|smoke] [--json] [--serial] [--channel-threads] [--target NAME]... [--all-targets]`
+//! `cargo run --release -p guardnn-bench --bin fig3 -- [inference|training|both|smoke] [--json] [--serial] [--channel-threads] [--bench-out FILE] [--metrics-out FILE] [--target NAME]... [--all-targets]`
 //! (`--json` additionally emits one machine-readable record per run;
+//! `--metrics-out` enables the observability layer for the whole run and
+//! writes its `guardnn-obs-v1` snapshot — per-channel DRAM series,
+//! protection counters, `perf` phase timings, and the serving demo's
+//! per-session step-latency percentiles — to FILE;
 //! `smoke` runs only the two smallest networks of the inference suite —
 //! the CI wall-clock canary; `--serial` disables the job-level worker
 //! pool; `--channel-threads` simulates the DRAM channels of each
@@ -21,7 +25,10 @@ use guardnn::perf::{
     batched_protocol_cost, evaluate_suite, EvalConfig, Mode, Parallelism, Scheme, SIMULATED_SCHEMES,
 };
 use guardnn_bench::json::{run_summary_json, Json};
-use guardnn_bench::{announce_pool, announce_target, f, positional, select_targets, Table};
+use guardnn_bench::{
+    announce_pool, announce_target, f, flag_value, install_metrics, positional, select_targets,
+    write_metrics, Table,
+};
 use guardnn_models::{zoo, Network};
 
 /// Amortized per-input protocol overhead (handshake + weight import spread
@@ -153,15 +160,40 @@ fn write_bench_out(path: &str, mode: &str, wall_s: f64, records: Vec<Json>) {
     }
 }
 
+/// Exercises the serving stack so an enabled metrics snapshot carries
+/// per-session step-latency percentiles and lifecycle events: three
+/// users each run a short `infer_batch` of the tiny test MLP through
+/// [`guardnn::server::DeviceServer`] (connect → establish → load →
+/// step… → disconnect).
+fn serving_metrics_demo() -> Result<(), guardnn::GuardNnError> {
+    use guardnn::device::GuardNnDevice;
+    use guardnn::server::DeviceServer;
+    use guardnn::session::RemoteUser;
+    use guardnn::testnet;
+
+    let (device, maker_pk) = GuardNnDevice::provision(0x0B5, 2026);
+    let mut server = DeviceServer::new(device);
+    let net = testnet::tiny_mlp();
+    let weights = testnet::tiny_mlp_weights(3);
+    for u in 0..3u64 {
+        let mut user = RemoteUser::new(maker_pk.clone(), 100 + u);
+        let sid = server.connect(&mut user)?;
+        server.establish(sid, &mut user, true)?;
+        server.load_model(sid, &mut user, &net, &weights)?;
+        let inputs: Vec<Vec<i32>> = (0..4)
+            .map(|i| (0..8).map(|j| (i * 8 + j) % 7 - 3).collect())
+            .collect();
+        server.infer_batch(sid, &mut user, &inputs)?;
+        server.disconnect(sid)?;
+    }
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    let bench_out = args.iter().position(|a| a == "--bench-out").map(|i| {
-        args.get(i + 1).cloned().unwrap_or_else(|| {
-            eprintln!("--bench-out needs a path argument");
-            std::process::exit(2);
-        })
-    });
+    let bench_out = flag_value(&args, "--bench-out");
+    let metrics_out = install_metrics(&args);
     let targets = select_targets(&args);
     let arg = positional(&args).unwrap_or_else(|| "both".to_string());
     let started = std::time::Instant::now();
@@ -224,5 +256,12 @@ fn main() {
     }
     if let Some(path) = bench_out {
         write_bench_out(&path, &arg, started.elapsed().as_secs_f64(), records);
+    }
+    if let Some(path) = metrics_out {
+        if let Err(e) = serving_metrics_demo() {
+            eprintln!("serving metrics demo failed: {e:?}");
+            std::process::exit(1);
+        }
+        write_metrics(&path);
     }
 }

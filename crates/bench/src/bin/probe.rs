@@ -2,30 +2,80 @@
 //! rate, achieved bandwidth) for one network — the tool used to attribute
 //! protection overhead between extra traffic and lost DRAM efficiency.
 //!
-//! Run with `cargo run --release -p guardnn-bench --bin probe -- <network>`.
+//! Run with
+//! `cargo run --release -p guardnn-bench --bin probe -- [network] [--json] [--bench-out FILE] [--metrics-out FILE] [--target NAME]... [--all-targets]`
+//! (default network `vgg`; `--json` prints one machine-readable record
+//! per scheme; `--bench-out` writes the records plus wall-clock to FILE;
+//! `--metrics-out` enables the observability layer and writes its
+//! `guardnn-obs-v1` snapshot — per-channel DRAM series and protection
+//! counters for the probed runs — to FILE).
+
 use guardnn::perf::{evaluate, EvalConfig, Mode, Scheme};
+use guardnn_bench::json::{run_summary_json, Json};
+use guardnn_bench::{
+    announce_target, flag_value, install_metrics, positional, select_targets, write_metrics,
+};
 use guardnn_models::zoo;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "vgg".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let bench_out = flag_value(&args, "--bench-out");
+    let metrics_out = install_metrics(&args);
+    let targets = select_targets(&args);
+    let name = positional(&args).unwrap_or_else(|| "vgg".into());
     let Some(net) = zoo::by_name(&name) else {
-        eprintln!("probe: unknown network `{name}` (try vgg, mnist, cifar)");
+        eprintln!(
+            "probe: unknown network `{name}` (try alexnet, vgg, googlenet, resnet50, \
+             mobilenet, vit, bert, dlrm, wav2vec2)"
+        );
         std::process::exit(2);
     };
-    let cfg = EvalConfig::default();
-    for s in Scheme::all() {
-        let r = evaluate(&net, Mode::Inference, s, &cfg);
-        let total = r.data_bytes + r.meta_bytes;
-        println!(
-            "{:10} data={:>6.1}MB meta={:>6.1}MB hit_rate={:.3} conflicts={} misses={} bpc={:.2} exec={:.3}ms",
-            r.scheme,
-            r.data_bytes as f64 / 1e6,
-            r.meta_bytes as f64 / 1e6,
-            r.dram.row_hit_rate(),
-            r.dram.row_conflicts,
-            r.dram.row_misses,
-            (total as f64) / r.dram.total_cycles as f64,
-            r.exec_ns / 1e6,
-        );
+    let started = std::time::Instant::now();
+    let mut records = Vec::new();
+    for target in &targets {
+        announce_target(target);
+        let cfg = EvalConfig::from_target(target);
+        for s in Scheme::all() {
+            let r = evaluate(&net, Mode::Inference, s, &cfg);
+            let total = r.data_bytes + r.meta_bytes;
+            println!(
+                "{:10} data={:>6.1}MB meta={:>6.1}MB hit_rate={:.3} conflicts={} misses={} bpc={:.2} exec={:.3}ms",
+                r.scheme,
+                r.data_bytes as f64 / 1e6,
+                r.meta_bytes as f64 / 1e6,
+                r.dram.row_hit_rate(),
+                r.dram.row_conflicts,
+                r.dram.row_misses,
+                (total as f64) / r.dram.total_cycles as f64,
+                r.exec_ns / 1e6,
+            );
+            let record = run_summary_json(net.name(), "probe", &r)
+                .field("target", target.name.as_str())
+                .field("dram_row_conflicts", r.dram.row_conflicts)
+                .field("dram_row_misses", r.dram.row_misses);
+            if json {
+                println!("{}", record.render());
+            }
+            records.push(record);
+        }
+    }
+    if let Some(path) = bench_out {
+        let doc = Json::obj()
+            .field("bench", "probe")
+            .field("network", name.as_str())
+            .field("wall_s", started.elapsed().as_secs_f64())
+            .field("runs", records);
+        // Trailing newline keeps the committed artifact diff-friendly.
+        match std::fs::write(&path, doc.render() + "\n") {
+            Ok(()) => println!("\nwrote benchmark record to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = metrics_out {
+        write_metrics(&path);
     }
 }

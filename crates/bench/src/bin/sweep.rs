@@ -14,14 +14,17 @@
 //! each sweep runs as one `evaluate_batch` across the worker pool.
 //!
 //! Run with
-//! `cargo run --release -p guardnn-bench --bin sweep -- [full|smoke] [--target NAME]... [--all-targets] [--bench-out PATH]`
+//! `cargo run --release -p guardnn-bench --bin sweep -- [full|smoke] [--target NAME]... [--all-targets] [--bench-out PATH] [--metrics-out FILE]`
 //! (`smoke` runs only the registry sweep on the smallest network — the CI
 //! subset; `--bench-out` writes the machine-readable record, same shape
-//! as `fig3 --bench-out`).
+//! as `fig3 --bench-out`; `--metrics-out` enables the observability layer
+//! and writes its `guardnn-obs-v1` snapshot to FILE).
 
 use guardnn::perf::{evaluate_batch, EvalConfig, EvalJob, Mode, Parallelism, Scheme};
 use guardnn_bench::json::{run_summary_json, Json};
-use guardnn_bench::{announce_pool, f, positional, select_targets, Table};
+use guardnn_bench::{
+    announce_pool, f, flag_value, install_metrics, positional, select_targets, write_metrics, Table,
+};
 use guardnn_models::zoo;
 use guardnn_systolic::ArrayConfig;
 use guardnn_targets::HardwareTarget;
@@ -103,12 +106,8 @@ fn registry_sweep(
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let bench_out = args.iter().position(|a| a == "--bench-out").map(|i| {
-        args.get(i + 1).cloned().unwrap_or_else(|| {
-            eprintln!("--bench-out needs a path argument");
-            std::process::exit(2);
-        })
-    });
+    let bench_out = flag_value(&args, "--bench-out");
+    let metrics_out = install_metrics(&args);
     let targets = select_targets(&args);
     let arg = positional(&args).unwrap_or_else(|| "full".to_string());
     let parallelism = Parallelism::Auto;
@@ -120,6 +119,9 @@ fn main() {
         let net = zoo::dlrm();
         registry_sweep(&targets, &net, parallelism, &mut records);
         finish(bench_out, &arg, started, records);
+        if let Some(path) = metrics_out {
+            write_metrics(&path);
+        }
         return;
     }
 
@@ -229,6 +231,9 @@ fn main() {
          per-input protocol cost falls as one session amortizes over the batch.)"
     );
     finish(bench_out, &arg, started, records);
+    if let Some(path) = metrics_out {
+        write_metrics(&path);
+    }
 }
 
 /// Writes the per-PR benchmark artifact — the same shape `fig3

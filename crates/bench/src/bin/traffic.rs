@@ -2,14 +2,19 @@
 //! 35.3% (inference) / 37.8% (training) while GuardNN_CI adds 2.4% / 2.3%.
 //!
 //! Run with
-//! `cargo run --release -p guardnn-bench --bin traffic -- [--json] [--target NAME]... [--all-targets] [--bench-out PATH]`
+//! `cargo run --release -p guardnn-bench --bin traffic -- [--json] [--target NAME]... [--all-targets] [--bench-out PATH] [--metrics-out FILE]`
 //! (`--target`/`--all-targets` pick the hardware points from the
 //! registry, default `guardnn-paper`; `--bench-out` writes the
-//! machine-readable record, same shape as `fig3 --bench-out`).
+//! machine-readable record, same shape as `fig3 --bench-out`;
+//! `--metrics-out` enables the observability layer and writes its
+//! `guardnn-obs-v1` snapshot to FILE).
 
 use guardnn::perf::{evaluate_batch, EvalConfig, EvalJob, Mode, Scheme};
 use guardnn_bench::json::{run_summary_json, Json};
-use guardnn_bench::{announce_pool, announce_target, f, select_targets, Table};
+use guardnn_bench::{
+    announce_pool, announce_target, f, flag_value, install_metrics, select_targets, write_metrics,
+    Table,
+};
 use guardnn_models::{zoo, Network};
 
 /// Traffic increase only needs the two protected schemes per network.
@@ -71,12 +76,8 @@ fn run_suite(
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    let bench_out = args.iter().position(|a| a == "--bench-out").map(|i| {
-        args.get(i + 1).cloned().unwrap_or_else(|| {
-            eprintln!("--bench-out needs a path argument");
-            std::process::exit(2);
-        })
-    });
+    let bench_out = flag_value(&args, "--bench-out");
+    let metrics_out = install_metrics(&args);
     let started = std::time::Instant::now();
     let mut records = Vec::new();
     for target in select_targets(&args) {
@@ -120,5 +121,8 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if let Some(path) = metrics_out {
+        write_metrics(&path);
     }
 }

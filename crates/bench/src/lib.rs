@@ -82,7 +82,48 @@ pub fn pct(v: f64) -> String {
 
 /// Flags whose following argument is a value, not a positional — shared
 /// by every binary's positional-argument scanner.
-pub const VALUE_FLAGS: &[&str] = &["--bench-out", "--target"];
+pub const VALUE_FLAGS: &[&str] = &["--bench-out", "--metrics-out", "--target"];
+
+/// Parses `--flag VALUE` from `args`, exiting with status 2 when the
+/// value is missing — the shared behaviour of every binary's
+/// `--bench-out`/`--metrics-out` handling.
+pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    match args.get(pos + 1) {
+        Some(v) => Some(v.clone()),
+        None => {
+            eprintln!("{flag} needs a file path");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Handles `--metrics-out FILE`: when present, installs an **enabled**
+/// process-global [`guardnn_obs::Recorder`] (so the whole instrumented
+/// stack starts collecting) and returns the snapshot path for
+/// [`write_metrics`] at exit. Call this before any simulation work — the
+/// global recorder latches on first use.
+pub fn install_metrics(args: &[String]) -> Option<String> {
+    let path = flag_value(args, "--metrics-out")?;
+    if !guardnn_obs::Recorder::install_global(guardnn_obs::Recorder::enabled()) {
+        // GUARDNN_OBS=1 (or an earlier install) already enabled it; the
+        // existing global keeps collecting and the snapshot still lands.
+        eprintln!("note: global metrics recorder was already initialized");
+    }
+    Some(path)
+}
+
+/// Writes the global recorder's `guardnn-obs-v1` JSON snapshot to `path`.
+pub fn write_metrics(path: &str) {
+    let json = guardnn_obs::Recorder::global().snapshot().render_json();
+    match std::fs::write(path, json + "\n") {
+        Ok(()) => eprintln!("wrote metrics snapshot to {path}"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 /// The first positional (non-`--`) argument, skipping values consumed by
 /// [`VALUE_FLAGS`].

@@ -41,12 +41,13 @@ use guardnn_dram::{ChannelMode, DramConfig, DramSink};
 use guardnn_memprot::baseline::{BaselineMee, MeeConfig};
 use guardnn_memprot::guardnn::GuardNnEngine;
 use guardnn_memprot::harness::{
-    run_protected, run_protected_streaming, run_protected_streaming_into, RunSummary,
+    run_protected, run_protected_streaming_into, run_protected_streaming_observed, RunSummary,
 };
 use guardnn_memprot::none::NoProtection;
 use guardnn_memprot::ProtectionEngine;
 use guardnn_models::graph::ExecutionPlan;
 use guardnn_models::Network;
+use guardnn_obs::Recorder;
 use guardnn_systolic::{ArrayConfig, TraceBuilder};
 
 /// The four protection schemes of the paper's ASIC evaluation.
@@ -290,13 +291,35 @@ fn eval_setup(
 /// O(1); `cfg.channel_mode` optionally simulates the DRAM channels on one
 /// worker thread each).
 pub fn evaluate(network: &Network, mode: Mode, scheme: Scheme, cfg: &EvalConfig) -> RunSummary {
-    let (array, plan, tb, mut engine) = eval_setup(network, mode, scheme, cfg);
-    run_protected_streaming(
+    evaluate_observed(network, mode, scheme, cfg, Recorder::global().clone())
+}
+
+/// [`evaluate`] with an explicit metrics recorder: planning and
+/// simulation phase timings land in the `perf.plan_ns` / `perf.simulate_ns`
+/// histograms, and the DRAM/protection layers report their per-channel
+/// series and counters through the same handle. The recorder never
+/// influences the simulation, so the returned [`RunSummary`] is
+/// bit-identical to [`evaluate`]'s (pinned by the `obs_differential`
+/// suite).
+pub fn evaluate_observed(
+    network: &Network,
+    mode: Mode,
+    scheme: Scheme,
+    cfg: &EvalConfig,
+    recorder: Recorder,
+) -> RunSummary {
+    let (array, plan, tb, mut engine) = {
+        let _plan_span = recorder.span("perf.plan_ns");
+        eval_setup(network, mode, scheme, cfg)
+    };
+    let _sim_span = recorder.span("perf.simulate_ns");
+    run_protected_streaming_observed(
         tb.stream(&plan),
         engine.as_mut(),
         cfg.dram,
         array.clock_mhz,
         cfg.channel_mode,
+        recorder.clone(),
     )
 }
 

@@ -43,6 +43,7 @@ use crate::host::{edge_extent, HostCounterMirror};
 use crate::isa::{Instruction, Response};
 use crate::session::RemoteUser;
 use guardnn_models::Network;
+use guardnn_obs::Recorder;
 
 /// Handle for one user session on a [`DeviceServer`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -202,6 +203,9 @@ pub struct DeviceServer {
     /// Logical clock for last-stepped bookkeeping (bumps whenever a
     /// session drives the device).
     clock: u64,
+    /// Metrics/event sink: session lifecycle events and per-instruction
+    /// step latencies. The process-global (no-op) recorder by default.
+    recorder: Recorder,
 }
 
 impl std::fmt::Debug for DeviceServer {
@@ -223,7 +227,16 @@ impl DeviceServer {
             active: None,
             stats: InstructionStats::default(),
             clock: 0,
+            recorder: Recorder::global().clone(),
         }
+    }
+
+    /// Routes this server's lifecycle events and step latencies to
+    /// `recorder` instead of the process-global one. With a
+    /// [`guardnn_obs::clock::ManualClock`]-driven recorder the reported
+    /// latencies are fully deterministic.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Read access to the device (for adversary experiments and tests).
@@ -342,6 +355,12 @@ impl DeviceServer {
                 last_active: 0,
             },
         );
+        if self.recorder.is_enabled() {
+            self.recorder
+                .event("server.connect", &[("session", &id.to_string())]);
+            self.recorder
+                .set_gauge("server.sessions", self.sessions.len() as i64);
+        }
         Ok(SessionId(id))
     }
 
@@ -386,6 +405,10 @@ impl DeviceServer {
         })?;
         if self.active == Some(id) {
             self.active = None;
+        }
+        if self.recorder.is_enabled() {
+            self.recorder
+                .event("server.evict", &[("session", &id.to_string())]);
         }
         Ok(())
     }
@@ -434,6 +457,15 @@ impl DeviceServer {
                 entry.counters = HostCounterMirror::default();
                 entry.state = SessionState::Established;
                 self.touch(session);
+                if self.recorder.is_enabled() {
+                    self.recorder.event(
+                        "server.establish",
+                        &[
+                            ("session", &session.0.to_string()),
+                            ("integrity", if integrity { "true" } else { "false" }),
+                        ],
+                    );
+                }
                 Ok(())
             }
             Err(e) => {
@@ -485,6 +517,15 @@ impl DeviceServer {
             .collect();
         entry.network = Some(network.clone());
         entry.state = SessionState::ModelLoaded;
+        if self.recorder.is_enabled() {
+            self.recorder.event(
+                "server.load_model",
+                &[
+                    ("session", &session.0.to_string()),
+                    ("network", network.name()),
+                ],
+            );
+        }
         Ok(())
     }
 
@@ -592,6 +633,21 @@ impl DeviceServer {
     /// Device, channel, and counter failures propagate; a failed step
     /// leaves the job where it was.
     pub fn step(&mut self, session: SessionId) -> Result<StepProgress, GuardNnError> {
+        if !self.recorder.is_enabled() {
+            return self.step_inner(session);
+        }
+        let start = self.recorder.now_ns();
+        let result = self.step_inner(session);
+        let elapsed = self.recorder.now_ns().saturating_sub(start);
+        self.recorder.observe("server.step_ns", elapsed);
+        self.recorder
+            .observe(&format!("server.step_ns.session.{}", session.0), elapsed);
+        self.recorder.add("server.steps", 1);
+        result
+    }
+
+    /// [`DeviceServer::step`] minus the latency metering that wraps it.
+    fn step_inner(&mut self, session: SessionId) -> Result<StepProgress, GuardNnError> {
         let entry = self.session_mut(session)?;
         if entry.jobs.is_empty() {
             return Ok(StepProgress::Idle);
@@ -734,6 +790,16 @@ impl DeviceServer {
     pub fn cancel_jobs(&mut self, session: SessionId) -> Result<usize, GuardNnError> {
         let entry = self.session_mut(session)?;
         let cancelled = entry.jobs.len();
+        if self.recorder.is_enabled() {
+            self.recorder.event(
+                "server.cancel",
+                &[
+                    ("session", &session.0.to_string()),
+                    ("jobs", &cancelled.to_string()),
+                ],
+            );
+        }
+        let entry = self.session_mut(session)?;
         let pending: Vec<Vec<u8>> = entry
             .jobs
             .iter()
@@ -986,6 +1052,12 @@ impl DeviceServer {
         }
         if self.active == Some(session.0) {
             self.active = None;
+        }
+        if self.recorder.is_enabled() {
+            self.recorder
+                .event("server.disconnect", &[("session", &session.0.to_string())]);
+            self.recorder
+                .set_gauge("server.sessions", self.sessions.len() as i64);
         }
         Ok(())
     }

@@ -126,6 +126,7 @@ impl Aes128 {
 
     /// Encrypts a single 16-byte block.
     pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        guardnn_obs::Recorder::global().add("crypto.aes_blocks", 1);
         let mut state = *block;
         add_round_key(&mut state, &self.round_keys[0]);
         for round in 1..ROUNDS {

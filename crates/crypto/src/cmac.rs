@@ -59,6 +59,7 @@ impl Cmac {
 
     /// Computes the 16-byte CMAC tag of `message`.
     pub fn compute(&self, message: &[u8]) -> [u8; 16] {
+        guardnn_obs::Recorder::global().add("crypto.cmac_tags", 1);
         let n_blocks = message.len().div_ceil(16).max(1);
         let last_complete = !message.is_empty() && message.len().is_multiple_of(16);
 

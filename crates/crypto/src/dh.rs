@@ -119,11 +119,13 @@ impl DhGroup {
 
     /// `g^e mod p` using the group's Montgomery context.
     pub fn pow_g(&self, e: &BigUint) -> BigUint {
+        guardnn_obs::Recorder::global().add("crypto.modexp", 1);
         self.inner.ctx.pow(&self.inner.g, e)
     }
 
     /// `base^e mod p`.
     pub fn pow(&self, base: &BigUint, e: &BigUint) -> BigUint {
+        guardnn_obs::Recorder::global().add("crypto.modexp", 1);
         self.inner.ctx.pow(base, e)
     }
 

@@ -113,6 +113,7 @@ impl Sha256 {
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
+        guardnn_obs::Recorder::global().add("crypto.sha256_compressions", 1);
         let mut w = [0u32; 64];
         for i in 0..16 {
             w[i] = u32::from_be_bytes([

@@ -34,6 +34,7 @@ impl Bank {
     }
 
     /// The open row, if any (used by the FR-FCFS scheduler to find hits).
+    #[inline]
     pub fn open_row(&self) -> Option<u64> {
         self.open_row
     }
@@ -41,6 +42,7 @@ impl Bank {
     /// Performs the row-management part of a column access that *issues* at
     /// `now`: returns the outcome and the cycle at which a column command
     /// may be driven to this bank.
+    #[inline]
     pub fn access_row(&mut self, row: u64, now: u64, t: &DdrTiming) -> (RowOutcome, u64) {
         match self.open_row {
             Some(open) if open == row => {
@@ -62,6 +64,7 @@ impl Bank {
         }
     }
 
+    #[inline]
     fn open(&mut self, row: u64, act_at: u64, t: &DdrTiming) {
         self.open_row = Some(row);
         self.activated_at = act_at;
@@ -71,6 +74,7 @@ impl Bank {
 
     /// Records write-recovery so a future precharge waits for tWR after the
     /// write burst ends at `data_end`.
+    #[inline]
     pub fn note_write(&mut self, data_end: u64, t: &DdrTiming) {
         self.precharge_ok_at = self.precharge_ok_at.max(data_end + t.wr);
     }
@@ -81,6 +85,7 @@ impl Bank {
     }
 
     /// The cycle of the most recent activate (for tFAW tracking).
+    #[inline]
     pub fn activated_at(&self) -> u64 {
         self.activated_at
     }

@@ -15,6 +15,7 @@
 use crate::bank::{Bank, RowOutcome};
 use crate::config::DramConfig;
 use crate::stats::DramStats;
+use guardnn_obs::Recorder;
 use std::collections::VecDeque;
 
 /// A decoded transaction bound for one channel.
@@ -113,11 +114,79 @@ pub struct Channel {
     /// Next scheduled refresh.
     next_refresh: u64,
     stats: DramStats,
+    /// Metrics hook; `None` (the default) costs one branch per issue.
+    /// Boxed so the disabled case adds no bulk to the scheduler's
+    /// cache-resident state.
+    obs: Option<Box<ChannelObs>>,
+}
+
+/// Issues between consecutive time-series samples. Sampling is on the
+/// scheduler's hot path, so it is throttled rather than per-issue.
+const OBS_SAMPLE_EVERY: u32 = 1024;
+
+/// Per-channel observability state: bounded time-series of queue depth
+/// and cumulative row hit-rate keyed by scheduler cycle, plus workspace
+/// counter deltas exported at drain time. Purely passive — it reads
+/// scheduler state and never influences a scheduling decision, so
+/// observed and unobserved runs stay bit-identical.
+#[derive(Clone, Debug)]
+struct ChannelObs {
+    rec: Recorder,
+    /// Issues remaining until the next series sample.
+    sample_left: u32,
+    /// Stats already exported as counters; drain exports the delta.
+    reported: DramStats,
+    /// Cached series names (avoid a `format!` per sample).
+    qd_name: String,
+    hr_name: String,
+}
+
+impl ChannelObs {
+    /// Samples queue depth and row hit-rate at scheduler cycle `now`.
+    fn sample(&mut self, now: u64, queued: usize, stats: &DramStats) {
+        self.rec.sample(&self.qd_name, now, queued as f64);
+        let cols = stats.row_hits + stats.row_misses + stats.row_conflicts;
+        if cols > 0 {
+            self.rec
+                .sample(&self.hr_name, now, stats.row_hits as f64 / cols as f64);
+        }
+    }
+
+    /// Exports the counter delta since the previous drain.
+    fn export(&mut self, stats: &DramStats) {
+        let r = self.reported;
+        self.rec.add("dram.reads", stats.reads - r.reads);
+        self.rec.add("dram.writes", stats.writes - r.writes);
+        self.rec.add("dram.row_hits", stats.row_hits - r.row_hits);
+        self.rec
+            .add("dram.row_misses", stats.row_misses - r.row_misses);
+        self.rec
+            .add("dram.row_conflicts", stats.row_conflicts - r.row_conflicts);
+        self.rec
+            .add("dram.refreshes", stats.refreshes - r.refreshes);
+        self.reported = *stats;
+    }
 }
 
 impl Channel {
-    /// Creates an idle channel.
+    /// Creates an idle channel reporting to the process-global recorder
+    /// (a no-op unless observability is enabled) as channel index 0.
     pub fn new(cfg: DramConfig) -> Self {
+        Self::with_observer(cfg, Recorder::global().clone(), 0)
+    }
+
+    /// Creates an idle channel reporting metrics to `recorder` under the
+    /// per-channel names `dram.chan{index}.*`.
+    pub fn with_observer(cfg: DramConfig, recorder: Recorder, index: usize) -> Self {
+        let obs = recorder.is_enabled().then(|| {
+            Box::new(ChannelObs {
+                rec: recorder,
+                sample_left: OBS_SAMPLE_EVERY,
+                reported: DramStats::default(),
+                qd_name: format!("dram.chan{index}.queue_depth"),
+                hr_name: format!("dram.chan{index}.row_hit_rate"),
+            })
+        });
         let banks = vec![Bank::new(); cfg.banks_per_channel()];
         let pending = vec![Vec::new(); cfg.banks_per_channel()];
         let mismatched = vec![0; cfg.banks_per_channel()];
@@ -144,11 +213,13 @@ impl Channel {
             last_write_end: 0,
             recent_acts: VecDeque::new(),
             stats: DramStats::default(),
+            obs,
         }
     }
 
     /// Enqueues a transaction, issuing older ones when the scheduler window
     /// fills.
+    #[inline]
     pub fn push(&mut self, req: Request) {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -204,6 +275,9 @@ impl Channel {
         while self.queued > 0 {
             self.issue_one();
         }
+        if let Some(obs) = &mut self.obs {
+            obs.export(&self.stats);
+        }
         self.stats
     }
 
@@ -215,6 +289,7 @@ impl Channel {
     /// Whether `e` still refers to a live (unissued) request. Row queues
     /// pop in seq order, so an entry is live iff its seq has not yet
     /// passed its queue's front.
+    #[inline]
     fn is_live(pending: &[Vec<RowQueue>], e: &OrderEntry) -> bool {
         pending[e.bank]
             .iter()
@@ -224,6 +299,7 @@ impl Channel {
 
     /// Removes and returns the front request of `(bank, row)`, maintaining
     /// the live count and the mismatch index.
+    #[inline]
     fn pop_pending(&mut self, bank: usize, row: u64) -> Request {
         if let Some(Some((_, b, r))) = self.mis_cache {
             if b == bank && r == row {
@@ -267,6 +343,7 @@ impl Channel {
 
     /// Recomputes the mismatch count and the hit front for `bank` after
     /// its open row changed (activation or refresh).
+    #[inline]
     fn note_row_change(&mut self, bank: usize) {
         self.mis_cache = None;
         let open = self.banks[bank].open_row();
@@ -288,6 +365,7 @@ impl Channel {
     /// request — the first live entry of the arrival deque — is the
     /// FR-FCFS pick and background preparation has nothing to do. The
     /// liveness check and the pop share one row-queue lookup.
+    #[inline]
     fn pick_all_hits(&mut self) -> Request {
         loop {
             // lint:allow(panic-discipline) — issue_one() only schedules while requests are pending
@@ -390,6 +468,7 @@ impl Channel {
     /// preparation candidate, and a successful activation turns it into
     /// the pick. Only a victim-blocked preparation needs a scan over the
     /// open-row index to find the oldest hit.
+    #[inline]
     fn prepare_and_pick(&mut self) -> Request {
         // Oldest live request; prune stale entries off the deque front.
         let front = loop {
@@ -433,6 +512,7 @@ impl Channel {
         self.pop_pending(bank, row)
     }
 
+    #[inline]
     fn issue_one(&mut self) {
         self.maybe_refresh();
         let req = if self.mismatched_total == 0 {
@@ -499,8 +579,16 @@ impl Channel {
             RowOutcome::Conflict => self.stats.row_conflicts += 1,
         }
         self.stats.total_cycles = self.stats.total_cycles.max(data_end);
+        if let Some(obs) = &mut self.obs {
+            obs.sample_left -= 1;
+            if obs.sample_left == 0 {
+                obs.sample_left = OBS_SAMPLE_EVERY;
+                obs.sample(self.now, self.queued, &self.stats);
+            }
+        }
     }
 
+    #[inline]
     fn maybe_refresh(&mut self) {
         if self.now < self.next_refresh {
             return;

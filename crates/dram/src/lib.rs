@@ -45,7 +45,9 @@ pub mod system;
 pub mod tamper;
 
 pub use config::DramConfig;
-pub use parallel::{with_channel_workers, ChannelMode, ParallelDram};
+pub use parallel::{
+    with_channel_workers, with_channel_workers_observed, ChannelMode, ParallelDram,
+};
 pub use stats::DramStats;
 pub use system::{DramSink, DramSystem};
 pub use tamper::{StreamFault, TamperingSink};

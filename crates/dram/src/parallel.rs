@@ -32,7 +32,9 @@ use crate::channel::{Channel, Request};
 use crate::config::DramConfig;
 use crate::stats::DramStats;
 use crate::system::{DramSink, DramSystem};
-use std::sync::mpsc;
+use guardnn_obs::Recorder;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{mpsc, Arc};
 
 /// Requests per demux batch (one queue send per batch amortizes the
 /// synchronization; a batch is ~24 KiB).
@@ -84,6 +86,24 @@ pub struct ParallelDram {
     buffers: Vec<Vec<Request>>,
     txs: Vec<mpsc::SyncSender<Cmd>>,
     stat_rxs: Vec<mpsc::Receiver<DramStats>>,
+    /// Demux-queue metrics; `None` unless observability is enabled.
+    obs: Option<DemuxObs>,
+}
+
+/// Producer-side demux metrics: per-channel queue occupancy (batches
+/// sent but not yet consumed by the worker) sampled at every batch send.
+/// Occupancy readings race benignly with worker progress — they describe
+/// wall-clock scheduling, not simulated state, and the simulated
+/// statistics are unaffected either way.
+struct DemuxObs {
+    rec: Recorder,
+    /// Batches in flight per channel (incremented at send, decremented
+    /// by the worker after ingest).
+    outstanding: Vec<Arc<AtomicI64>>,
+    /// Batches sent so far per channel — the series x-coordinate.
+    sends: Vec<u64>,
+    /// Cached per-channel series names.
+    names: Vec<String>,
 }
 
 impl ParallelDram {
@@ -96,6 +116,13 @@ impl ParallelDram {
             .send(Cmd::Batch(batch))
             // lint:allow(panic-discipline) — send fails only if a scoped worker panicked: double fault
             .expect("channel worker alive");
+        if let Some(obs) = &mut self.obs {
+            let depth = obs.outstanding[channel].fetch_add(1, Ordering::Relaxed) + 1;
+            obs.sends[channel] += 1;
+            let x = obs.sends[channel];
+            obs.rec.sample(&obs.names[channel], x, depth as f64);
+            obs.rec.add("dram.demux.batches", 1);
+        }
     }
 }
 
@@ -131,19 +158,38 @@ impl DramSink for ParallelDram {
 /// bit-identical to driving a serial [`DramSystem`] with the same access
 /// sequence and drain points.
 pub fn with_channel_workers<R>(cfg: DramConfig, f: impl FnOnce(&mut ParallelDram) -> R) -> R {
+    with_channel_workers_observed(cfg, Recorder::global().clone(), f)
+}
+
+/// [`with_channel_workers`] with an explicit metrics recorder: workers
+/// report per-channel scheduler metrics (`dram.chan{i}.*`) and the
+/// producer reports demux-queue occupancy (`dram.demux.chan{i}.*`).
+pub fn with_channel_workers_observed<R>(
+    cfg: DramConfig,
+    recorder: Recorder,
+    f: impl FnOnce(&mut ParallelDram) -> R,
+) -> R {
     std::thread::scope(|scope| {
+        let enabled = recorder.is_enabled();
         let mut txs = Vec::with_capacity(cfg.channels);
         let mut stat_rxs = Vec::with_capacity(cfg.channels);
-        for _ in 0..cfg.channels {
+        let mut outstanding = Vec::with_capacity(cfg.channels);
+        for i in 0..cfg.channels {
             let (tx, rx) = mpsc::sync_channel::<Cmd>(QUEUE_DEPTH);
             let (stat_tx, stat_rx) = mpsc::channel::<DramStats>();
+            let in_flight = Arc::new(AtomicI64::new(0));
+            let worker_flight = enabled.then(|| Arc::clone(&in_flight));
+            let worker_rec = recorder.clone();
             scope.spawn(move || {
-                let mut channel = Channel::new(cfg);
+                let mut channel = Channel::with_observer(cfg, worker_rec, i);
                 for cmd in rx {
                     match cmd {
                         Cmd::Batch(reqs) => {
                             for req in reqs {
                                 channel.push(req);
+                            }
+                            if let Some(flight) = &worker_flight {
+                                flight.fetch_sub(1, Ordering::Relaxed);
                             }
                         }
                         // lint:allow(panic-discipline) — the driver owns stat_rx for the worker's lifetime
@@ -153,14 +199,24 @@ pub fn with_channel_workers<R>(cfg: DramConfig, f: impl FnOnce(&mut ParallelDram
             });
             txs.push(tx);
             stat_rxs.push(stat_rx);
+            outstanding.push(in_flight);
         }
+        let obs = enabled.then(|| DemuxObs {
+            rec: recorder.clone(),
+            sends: vec![0; cfg.channels],
+            names: (0..cfg.channels)
+                .map(|i| format!("dram.demux.chan{i}.occupancy"))
+                .collect(),
+            outstanding,
+        });
         let mut front = ParallelDram {
-            decoder: DramSystem::new(cfg),
+            decoder: DramSystem::with_recorder(cfg, Recorder::disabled()),
             buffers: (0..cfg.channels)
                 .map(|_| Vec::with_capacity(BATCH))
                 .collect(),
             txs,
             stat_rxs,
+            obs,
         };
         f(&mut front)
         // `front` (and its senders) drop here: workers see a closed queue,

@@ -3,6 +3,7 @@
 use crate::channel::{Channel, Request};
 use crate::config::DramConfig;
 use crate::stats::DramStats;
+use guardnn_obs::Recorder;
 
 /// A destination for decoded DRAM transactions. Implemented by the inline
 /// [`DramSystem`] and by the per-channel-threaded
@@ -63,9 +64,18 @@ fn log2_exact(x: u64) -> Option<u32> {
 }
 
 impl DramSystem {
-    /// Creates an idle DRAM system.
+    /// Creates an idle DRAM system reporting to the process-global
+    /// recorder (a no-op unless observability is enabled).
     pub fn new(cfg: DramConfig) -> Self {
-        let channels = (0..cfg.channels).map(|_| Channel::new(cfg)).collect();
+        Self::with_recorder(cfg, Recorder::global().clone())
+    }
+
+    /// Creates an idle DRAM system whose channels report per-channel
+    /// metrics (`dram.chan{i}.*`) to `recorder`.
+    pub fn with_recorder(cfg: DramConfig, recorder: Recorder) -> Self {
+        let channels = (0..cfg.channels)
+            .map(|i| Channel::with_observer(cfg, recorder.clone(), i))
+            .collect();
         let shifts = (|| {
             Some(DecodeShifts {
                 access: log2_exact(cfg.access_bytes)?,
@@ -89,6 +99,7 @@ impl DramSystem {
     }
 
     /// Enqueues one transaction of `cfg.access_bytes` at `addr`.
+    #[inline]
     pub fn access(&mut self, addr: u64, is_write: bool) {
         let (channel, req) = self.route(addr, is_write);
         self.channels[channel].push(req);
@@ -124,6 +135,7 @@ impl DramSystem {
     /// Decodes `addr` into its channel index and channel-local request —
     /// the demux step the per-channel-threaded front end runs on the
     /// producing thread.
+    #[inline]
     pub(crate) fn route(&self, addr: u64, is_write: bool) -> (usize, Request) {
         let cfg = &self.cfg;
         // Bank-address hashing (XOR with low row bits): decorrelates

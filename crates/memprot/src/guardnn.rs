@@ -153,6 +153,7 @@ impl ProtectionEngine for GuardNnEngine {
             .next_feature_write()
             // lint:allow(panic-discipline) — exhaustion is a harness bug, per the comment above
             .expect("simulation exceeded 2^32 passes per input");
+        guardnn_obs::Recorder::global().add("memprot.vn_advances", 1);
     }
 
     fn on_access(&mut self, block_addr: u64, write: bool, stream: StreamClass) -> Vec<MetaAccess> {

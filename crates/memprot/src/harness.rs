@@ -18,8 +18,9 @@
 
 use crate::{MetaAccess, ProtectionEngine, BLOCK_BYTES};
 use guardnn_dram::{
-    with_channel_workers, ChannelMode, DramConfig, DramSink, DramStats, DramSystem,
+    with_channel_workers_observed, ChannelMode, DramConfig, DramSink, DramStats, DramSystem,
 };
+use guardnn_obs::Recorder;
 use guardnn_systolic::trace::PassPerf;
 use guardnn_systolic::{PlanTrace, TraceItem, TraceSource};
 use std::collections::VecDeque;
@@ -341,6 +342,7 @@ fn ingest<S: DramSink>(
     dram: &mut S,
     dram_cfg: DramConfig,
     accel_mhz: u64,
+    rec: &Recorder,
 ) -> IngestOutcome {
     let mut data_bytes = 0u64;
     let mut meta_bytes = 0u64;
@@ -349,18 +351,31 @@ fn ingest<S: DramSink>(
     let mut prev_cycles = 0u64;
     let dram_ns_per_cycle = 1e3 / dram_cfg.clock_mhz as f64;
     let accel_ns_per_cycle = 1e3 / accel_mhz as f64;
+    // Pass-local protection-traffic tallies: plain adds on the hot path,
+    // exported (counters + one journal event) only at pass boundaries
+    // and only when the recorder is enabled.
+    let observe = rec.is_enabled();
+    let mut pass_data = 0u64;
+    let mut pass_meta_reads = 0u64;
+    let mut pass_meta_writes = 0u64;
 
     for item in protected {
         match item {
             ProtectedItem::Data { addr, write } => {
                 dram.access(addr, write);
                 data_bytes += BLOCK_BYTES;
+                pass_data += 1;
             }
             ProtectedItem::Meta { addr, write } => {
                 dram.access(addr, write);
                 meta_bytes += BLOCK_BYTES;
+                if write {
+                    pass_meta_writes += 1;
+                } else {
+                    pass_meta_reads += 1;
+                }
             }
-            ProtectedItem::PassEnd { perf, .. } => {
+            ProtectedItem::PassEnd { pass, perf } => {
                 let stats = dram.drain_stats();
                 let mem_cycles = stats.total_cycles - prev_cycles;
                 prev_cycles = stats.total_cycles;
@@ -368,12 +383,35 @@ fn ingest<S: DramSink>(
                 let compute_ns = perf.compute_cycles as f64 * accel_ns_per_cycle;
                 exec_ns += mem_ns.max(compute_ns);
                 compute_cycles += perf.compute_cycles;
+                if observe {
+                    rec.add("memprot.blocks_data", pass_data);
+                    rec.add("memprot.meta_reads", pass_meta_reads);
+                    rec.add("memprot.meta_writes", pass_meta_writes);
+                    rec.event(
+                        "memprot.pass",
+                        &[
+                            ("pass", &pass.to_string()),
+                            ("data_blocks", &pass_data.to_string()),
+                            ("meta_reads", &pass_meta_reads.to_string()),
+                            ("meta_writes", &pass_meta_writes.to_string()),
+                            ("mem_cycles", &mem_cycles.to_string()),
+                        ],
+                    );
+                }
+                pass_data = 0;
+                pass_meta_reads = 0;
+                pass_meta_writes = 0;
             }
         }
     }
     // End-of-run tail: the engine's flushed write-backs.
     let stats = dram.drain_stats();
     exec_ns += (stats.total_cycles - prev_cycles) as f64 * dram_ns_per_cycle;
+    if observe {
+        rec.add("memprot.blocks_data", pass_data);
+        rec.add("memprot.meta_reads", pass_meta_reads);
+        rec.add("memprot.meta_writes", pass_meta_writes);
+    }
     IngestOutcome {
         data_bytes,
         meta_bytes,
@@ -397,14 +435,39 @@ pub fn run_protected_streaming<I: TraceSource>(
     accel_mhz: u64,
     channels: ChannelMode,
 ) -> RunSummary {
+    run_protected_streaming_observed(
+        trace,
+        engine,
+        dram_cfg,
+        accel_mhz,
+        channels,
+        Recorder::global().clone(),
+    )
+}
+
+/// [`run_protected_streaming`] with an explicit metrics recorder: DRAM
+/// channels report per-channel scheduler series and the ingest loop
+/// reports per-pass protection traffic. The recorder observes and never
+/// steers, so the returned [`RunSummary`] is bit-identical to the
+/// unobserved run (pinned by the `obs_differential` suite).
+pub fn run_protected_streaming_observed<I: TraceSource>(
+    trace: I,
+    engine: &mut dyn ProtectionEngine,
+    dram_cfg: DramConfig,
+    accel_mhz: u64,
+    channels: ChannelMode,
+    recorder: Recorder,
+) -> RunSummary {
     match channels {
         ChannelMode::Serial => {
-            let mut dram = DramSystem::new(dram_cfg);
-            run_protected_streaming_into(trace, engine, &mut dram, dram_cfg, accel_mhz)
+            let mut dram = DramSystem::with_recorder(dram_cfg, recorder.clone());
+            stream_into(trace, engine, &mut dram, dram_cfg, accel_mhz, &recorder)
         }
-        ChannelMode::Threaded => with_channel_workers(dram_cfg, |dram| {
-            run_protected_streaming_into(trace, engine, dram, dram_cfg, accel_mhz)
-        }),
+        ChannelMode::Threaded => {
+            with_channel_workers_observed(dram_cfg, recorder.clone(), |dram| {
+                stream_into(trace, engine, dram, dram_cfg, accel_mhz, &recorder)
+            })
+        }
     }
 }
 
@@ -422,9 +485,21 @@ pub fn run_protected_streaming_into<I: TraceSource, S: DramSink>(
     dram_cfg: DramConfig,
     accel_mhz: u64,
 ) -> RunSummary {
+    stream_into(trace, engine, dram, dram_cfg, accel_mhz, Recorder::global())
+}
+
+/// Shared body of the streaming entry points above.
+fn stream_into<I: TraceSource, S: DramSink>(
+    trace: I,
+    engine: &mut dyn ProtectionEngine,
+    dram: &mut S,
+    dram_cfg: DramConfig,
+    accel_mhz: u64,
+    rec: &Recorder,
+) -> RunSummary {
     let scheme = engine.name();
     let mut protected = ProtectedStream::new(trace, engine);
-    let outcome = ingest(&mut protected, dram, dram_cfg, accel_mhz);
+    let outcome = ingest(&mut protected, dram, dram_cfg, accel_mhz, rec);
     RunSummary {
         scheme,
         data_bytes: outcome.data_bytes,

@@ -1,0 +1,83 @@
+//! Time sources for span timers and journal timestamps.
+//!
+//! A [`Recorder`](crate::Recorder) reads time through a [`Clock`], which
+//! is either the process monotonic clock ([`Clock::wall`]) or a
+//! hand-advanced [`ManualClock`]. Simulations and tests use the manual
+//! variant so recorded latencies are deterministic and assertable.
+//!
+//! # Example
+//!
+//! ```
+//! use guardnn_obs::clock::{Clock, ManualClock};
+//!
+//! let manual = ManualClock::new();
+//! let clock = Clock::manual(manual.clone());
+//! assert_eq!(clock.now_ns(), 0);
+//! manual.advance(1_500);
+//! assert_eq!(clock.now_ns(), 1_500);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic nanosecond time source.
+#[derive(Clone, Debug)]
+pub enum Clock {
+    /// The process monotonic clock, zeroed at clock construction.
+    Wall(Instant),
+    /// A hand-advanced clock shared with the test or simulator driving it.
+    Manual(ManualClock),
+}
+
+impl Clock {
+    /// A wall clock whose epoch is the moment of this call.
+    pub fn wall() -> Self {
+        Clock::Wall(Instant::now())
+    }
+
+    /// A clock driven by `manual`; [`Clock::now_ns`] reads its value.
+    pub fn manual(manual: ManualClock) -> Self {
+        Clock::Manual(manual)
+    }
+
+    /// Nanoseconds since the clock's epoch.
+    pub fn now_ns(&self) -> u64 {
+        match self {
+            Clock::Wall(epoch) => {
+                let ns = epoch.elapsed().as_nanos();
+                u64::try_from(ns).unwrap_or(u64::MAX)
+            }
+            Clock::Manual(m) => m.now_ns(),
+        }
+    }
+}
+
+/// A shared, hand-advanced nanosecond counter.
+///
+/// Clones observe the same underlying counter, so the handle kept by the
+/// test keeps steering the clone held inside a [`Recorder`](crate::Recorder).
+#[derive(Clone, Debug, Default)]
+pub struct ManualClock(Arc<AtomicU64>);
+
+impl ManualClock {
+    /// A manual clock starting at 0 ns.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current reading in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Moves the clock forward by `ns` nanoseconds.
+    pub fn advance(&self, ns: u64) {
+        self.0.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Sets the clock to an absolute reading.
+    pub fn set(&self, ns: u64) {
+        self.0.store(ns, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,182 @@
+//! Log-linear histogram with bounded-error percentile queries.
+//!
+//! Values below 32 land in exact one-per-value buckets; larger values are
+//! bucketed log-linearly with 32 sub-buckets per power of two, so any
+//! reported quantile is an upper bound on the true order statistic with
+//! relative error at most 1/32 (~3.1%). The full `u64` range fits in a
+//! fixed 1920-bucket table — no allocation ever happens after the first
+//! recorded value, and recording is two shifts and an increment.
+//!
+//! # Example
+//!
+//! ```
+//! use guardnn_obs::hist::Histogram;
+//!
+//! let mut h = Histogram::new();
+//! for v in 1..=1000u64 {
+//!     h.record(v);
+//! }
+//! assert_eq!(h.count(), 1000);
+//! let p50 = h.quantile(0.50);
+//! // The true median is 500; the report errs high by at most 1/32.
+//! assert!((500..=516).contains(&p50));
+//! assert_eq!(h.quantile(1.0), 1000);
+//! ```
+
+/// Sub-bucket resolution: 2^5 = 32 sub-buckets per power of two.
+const SUB_BITS: u32 = 5;
+/// Number of sub-buckets per power-of-two group.
+const SUBS: u64 = 1 << SUB_BITS;
+/// Bucket-table size: a 32-entry linear region for values `< 32`, then
+/// 32 sub-buckets for each of the 59 possible leading-bit positions.
+const BUCKETS: usize = (SUBS as usize) * (64 - SUB_BITS as usize + 1);
+
+/// A log-linear histogram over `u64` samples (typically nanoseconds).
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram; the bucket table is allocated on first record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; BUCKETS];
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.buckets[Self::index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as a bounded-error upper estimate.
+    ///
+    /// Returns the upper bound of the bucket holding the order statistic
+    /// of rank `ceil(q * count)`, clamped into `[min, max]`; the result
+    /// is `>=` the true order statistic and exceeds it by at most a
+    /// factor of `1 + 1/32`. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return Self::upper_bound(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Bucket index for `value`.
+    fn index(value: u64) -> usize {
+        if value < SUBS {
+            value as usize
+        } else {
+            let msb = 63 - u64::from(value.leading_zeros());
+            let shift = msb - u64::from(SUB_BITS);
+            (SUBS + shift * SUBS + ((value >> shift) & (SUBS - 1))) as usize
+        }
+    }
+
+    /// Largest value mapping to bucket `idx`.
+    fn upper_bound(idx: usize) -> u64 {
+        if idx < SUBS as usize {
+            idx as u64
+        } else {
+            let shift = (idx - SUBS as usize) as u64 / SUBS;
+            let sub = (idx - SUBS as usize) as u64 % SUBS;
+            let hi = (u128::from(SUBS + sub + 1) << shift) - 1;
+            u64::try_from(hi).unwrap_or(u64::MAX)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip_brackets_value() {
+        for v in [0, 1, 31, 32, 33, 63, 64, 1000, 1 << 20, u64::MAX] {
+            let idx = Histogram::index(v);
+            assert!(Histogram::upper_bound(idx) >= v, "value {v}");
+            if idx > 0 {
+                assert!(Histogram::upper_bound(idx - 1) < v, "value {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        for v in 0..32u64 {
+            let q = (v + 1) as f64 / 32.0;
+            assert_eq!(h.quantile(q), v);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn single_value_is_every_quantile() {
+        let mut h = Histogram::new();
+        h.record(123_456);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 123_456);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Bounded structured event journal.
+//!
+//! The journal is a drop-oldest ring buffer of [`Event`]s: each entry
+//! carries a monotonically increasing sequence number, a clock reading,
+//! an event kind, and key/value fields. When the buffer is full the
+//! oldest entry is discarded and counted in [`Journal::dropped`], so a
+//! long-running server keeps the most recent window without unbounded
+//! growth.
+//!
+//! # Example
+//!
+//! ```
+//! use guardnn_obs::journal::Journal;
+//!
+//! let mut j = Journal::new(2);
+//! j.push(10, "a", &[]);
+//! j.push(20, "b", &[("k", "v")]);
+//! j.push(30, "c", &[]);
+//! assert_eq!(j.dropped(), 1);
+//! let kinds: Vec<_> = j.entries().iter().map(|e| e.kind.as_str()).collect();
+//! assert_eq!(kinds, ["b", "c"]);
+//! assert_eq!(j.entries()[0].seq, 1);
+//! ```
+
+use std::collections::VecDeque;
+
+/// One structured journal entry.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Zero-based sequence number, monotonic across drops.
+    pub seq: u64,
+    /// Clock reading (nanoseconds) when the event was recorded.
+    pub t_ns: u64,
+    /// Event kind, e.g. `server.connect`.
+    pub kind: String,
+    /// Ordered key/value payload.
+    pub fields: Vec<(String, String)>,
+}
+
+/// Drop-oldest bounded ring of [`Event`]s.
+#[derive(Clone, Debug)]
+pub struct Journal {
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+    entries: VecDeque<Event>,
+}
+
+impl Journal {
+    /// A journal retaining at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            next_seq: 0,
+            dropped: 0,
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// Appends an event, evicting the oldest entry when full.
+    pub fn push(&mut self, t_ns: u64, kind: &str, fields: &[(&str, &str)]) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(Event {
+            seq: self.next_seq,
+            t_ns,
+            kind: kind.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        });
+        self.next_seq += 1;
+    }
+
+    /// Retained events, oldest first.
+    pub fn entries(&self) -> &VecDeque<Event> {
+        &self.entries
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}

@@ -1,0 +1,59 @@
+//! Bounded time-series of `(x, y)` samples.
+//!
+//! A [`Series`] holds a drop-oldest window of points — typically
+//! `(simulated cycle, queue depth)` or `(cycle, row hit-rate)` — so a
+//! metric sampled millions of times over a run still snapshots to a
+//! fixed-size record. Evicted points are counted in [`Series::dropped`].
+//!
+//! # Example
+//!
+//! ```
+//! use guardnn_obs::series::Series;
+//!
+//! let mut s = Series::new(3);
+//! for x in 0..5u64 {
+//!     s.push(x, x as f64 * 0.5);
+//! }
+//! assert_eq!(s.dropped(), 2);
+//! assert_eq!(s.points().front(), Some(&(2, 1.0)));
+//! ```
+
+use std::collections::VecDeque;
+
+/// Drop-oldest bounded buffer of `(x, y)` samples.
+#[derive(Clone, Debug)]
+pub struct Series {
+    capacity: usize,
+    dropped: u64,
+    points: VecDeque<(u64, f64)>,
+}
+
+impl Series {
+    /// A series retaining at most `capacity` points (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            dropped: 0,
+            points: VecDeque::new(),
+        }
+    }
+
+    /// Appends a sample, evicting the oldest when full.
+    pub fn push(&mut self, x: u64, y: f64) {
+        if self.points.len() == self.capacity {
+            self.points.pop_front();
+            self.dropped += 1;
+        }
+        self.points.push_back((x, y));
+    }
+
+    /// Retained points, oldest first.
+    pub fn points(&self) -> &VecDeque<(u64, f64)> {
+        &self.points
+    }
+
+    /// Number of points evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}

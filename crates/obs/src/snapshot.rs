@@ -1,0 +1,211 @@
+//! Point-in-time metric snapshots and their versioned JSON rendering.
+//!
+//! [`Snapshot`] is a plain-data copy of everything a
+//! [`Recorder`](crate::Recorder) has collected: counters, gauges,
+//! histogram summaries (count/sum/min/max plus p50/p90/p99/p99.9),
+//! bounded time-series, and the event journal. [`Snapshot::render_json`]
+//! serializes it with the same hand-rolled, dependency-free writer style
+//! as `bench::json`, under the schema tag `guardnn-obs-v1`.
+//!
+//! # Example
+//!
+//! ```
+//! use guardnn_obs::Recorder;
+//!
+//! let rec = Recorder::enabled();
+//! rec.add("demo.requests", 3);
+//! let json = rec.snapshot().render_json();
+//! assert!(json.starts_with("{\"schema\":\"guardnn-obs-v1\""));
+//! assert!(json.contains("\"demo.requests\":3"));
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::journal::Event;
+
+/// Schema tag stamped into every rendered snapshot.
+pub const SCHEMA: &str = "guardnn-obs-v1";
+
+/// Fixed-size summary of one histogram.
+#[derive(Clone, Debug)]
+pub struct HistSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Saturating sum of all samples.
+    pub sum: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median (upper-bounded, relative error <= 1/32).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+}
+
+/// Copy of one bounded time-series.
+#[derive(Clone, Debug)]
+pub struct SeriesSnapshot {
+    /// Points evicted from the window before this snapshot.
+    pub dropped: u64,
+    /// Retained `(x, y)` points, oldest first.
+    pub points: Vec<(u64, f64)>,
+}
+
+/// Plain-data copy of a recorder's state.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Whether the recorder was collecting at all.
+    pub enabled: bool,
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries.
+    pub histograms: BTreeMap<String, HistSummary>,
+    /// Bounded time-series.
+    pub series: BTreeMap<String, SeriesSnapshot>,
+    /// Events evicted from the journal before this snapshot.
+    pub events_dropped: u64,
+    /// Retained journal entries, oldest first.
+    pub events: Vec<Event>,
+}
+
+impl Snapshot {
+    /// Renders the snapshot as a single-line `guardnn-obs-v1` JSON object.
+    pub fn render_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\"schema\":\"");
+        s.push_str(SCHEMA);
+        s.push_str("\",\"enabled\":");
+        s.push_str(if self.enabled { "true" } else { "false" });
+
+        s.push_str(",\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            sep(&mut s, i);
+            let _ = write!(s, "{}:{v}", esc(k));
+        }
+        s.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            sep(&mut s, i);
+            let _ = write!(s, "{}:{v}", esc(k));
+        }
+        s.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            sep(&mut s, i);
+            let _ = write!(
+                s,
+                "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                 \"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
+                esc(k),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.p50,
+                h.p90,
+                h.p99,
+                h.p999
+            );
+        }
+        s.push_str("},\"series\":{");
+        for (i, (k, sr)) in self.series.iter().enumerate() {
+            sep(&mut s, i);
+            let _ = write!(s, "{}:{{\"dropped\":{},\"points\":[", esc(k), sr.dropped);
+            for (j, (x, y)) in sr.points.iter().enumerate() {
+                sep(&mut s, j);
+                let _ = write!(s, "[{x},{}]", num(*y));
+            }
+            s.push_str("]}");
+        }
+        let _ = write!(
+            s,
+            "}},\"events\":{{\"dropped\":{},\"entries\":[",
+            self.events_dropped
+        );
+        for (i, e) in self.events.iter().enumerate() {
+            sep(&mut s, i);
+            let _ = write!(
+                s,
+                "{{\"seq\":{},\"t_ns\":{},\"kind\":{},\"fields\":{{",
+                e.seq,
+                e.t_ns,
+                esc(&e.kind)
+            );
+            for (j, (k, v)) in e.fields.iter().enumerate() {
+                sep(&mut s, j);
+                let _ = write!(s, "{}:{}", esc(k), esc(v));
+            }
+            s.push_str("}}");
+        }
+        s.push_str("]}}");
+        s
+    }
+}
+
+/// Writes the element separator before every entry but the first.
+fn sep(s: &mut String, i: usize) {
+    if i > 0 {
+        s.push(',');
+    }
+}
+
+/// JSON number; non-finite values render as `null` (JSON has no NaN).
+fn num(y: f64) -> String {
+    if y.is_finite() {
+        format!("{y}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes and quotes a JSON string.
+fn esc(raw: &str) -> String {
+    let mut s = String::with_capacity(raw.len() + 2);
+    s.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\t' => s.push_str("\\t"),
+            '\r' => s.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_is_valid_shape() {
+        let json = Snapshot::default().render_json();
+        assert!(json.contains("\"schema\":\"guardnn-obs-v1\""));
+        assert!(json.contains("\"counters\":{}"));
+        assert!(json.ends_with("\"entries\":[]}}"));
+    }
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        assert_eq!(esc("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(esc("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_points_render_null() {
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(2.5), "2.5");
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests (proptest) for the observability primitives:
+//! histogram percentiles against a sorted-vector oracle, and the
+//! drop-oldest bounds of the journal and time-series rings.
+
+use guardnn_obs::hist::Histogram;
+use guardnn_obs::journal::Journal;
+use guardnn_obs::series::Series;
+use proptest::prelude::*;
+
+/// Exact order statistic of rank `ceil(q * len)` from a sorted copy.
+fn oracle(values: &[u64], q: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    /// Every reported quantile upper-bounds the exact order statistic
+    /// with relative error at most 1/32.
+    #[test]
+    fn quantiles_match_sorted_oracle(values in proptest::collection::vec(any::<u64>(), 1..500)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = oracle(&values, q);
+            let got = h.quantile(q);
+            prop_assert!(got >= exact, "q={q}: got {got} < exact {exact}");
+            prop_assert!(
+                got <= exact.saturating_add(exact / 32).saturating_add(1),
+                "q={q}: got {got} exceeds error bound over exact {exact}"
+            );
+        }
+    }
+
+    /// Count/sum/min/max are exact regardless of bucketing.
+    #[test]
+    fn scalar_stats_are_exact(values in proptest::collection::vec(0u64..1 << 48, 1..300)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+        prop_assert_eq!(h.min(), *values.iter().min().expect("non-empty"));
+        prop_assert_eq!(h.max(), *values.iter().max().expect("non-empty"));
+    }
+
+    /// The p100 quantile is always the exact maximum.
+    #[test]
+    fn p100_is_exact_max(values in proptest::collection::vec(any::<u64>(), 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.quantile(1.0), *values.iter().max().expect("non-empty"));
+    }
+
+    /// The journal never exceeds its capacity, drops exactly the
+    /// overflow, keeps the newest suffix, and numbers events densely.
+    #[test]
+    fn journal_bounds_hold(cap in 1usize..40, n in 0usize..200) {
+        let mut j = Journal::new(cap);
+        for i in 0..n {
+            j.push(i as u64, "e", &[]);
+        }
+        prop_assert!(j.entries().len() <= cap);
+        prop_assert_eq!(j.entries().len(), n.min(cap));
+        prop_assert_eq!(j.dropped(), n.saturating_sub(cap) as u64);
+        for (offset, e) in j.entries().iter().enumerate() {
+            prop_assert_eq!(e.seq, (n.saturating_sub(n.min(cap)) + offset) as u64);
+        }
+    }
+
+    /// A time-series keeps the newest `cap` points in order.
+    #[test]
+    fn series_bounds_hold(cap in 1usize..40, n in 0usize..200) {
+        let mut s = Series::new(cap);
+        for i in 0..n {
+            s.push(i as u64, i as f64);
+        }
+        prop_assert_eq!(s.points().len(), n.min(cap));
+        prop_assert_eq!(s.dropped(), n.saturating_sub(cap) as u64);
+        let first = n.saturating_sub(n.min(cap)) as u64;
+        for (offset, &(x, _)) in s.points().iter().enumerate() {
+            prop_assert_eq!(x, first + offset as u64);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Differential tests pinning that the observability layer is purely
+//! passive: an **enabled** recorder wired through the full simulation
+//! stack must leave every result bit-identical to a disabled one, on
+//! every scheme and both DRAM channel modes — while still collecting the
+//! counters and per-channel series the metrics snapshot promises.
+//!
+//! These tests never install the process-global recorder (that would leak
+//! an enabled recorder into every other test in this binary); they pass
+//! explicit recorders through `evaluate_observed` / `set_recorder`.
+
+use guardnn::device::GuardNnDevice;
+use guardnn::perf::{evaluate, evaluate_observed, EvalConfig, Mode, Scheme};
+use guardnn::server::DeviceServer;
+use guardnn::session::RemoteUser;
+use guardnn::testnet;
+use guardnn_dram::ChannelMode;
+use guardnn_models::zoo;
+use guardnn_obs::clock::ManualClock;
+use guardnn_obs::Recorder;
+use guardnn_tests::chaos::bit_identical;
+
+/// An enabled recorder on a deterministic manual clock — spans record
+/// whatever the test dictates, never wall time.
+fn manual_recorder() -> (Recorder, ManualClock) {
+    let clock = ManualClock::new();
+    let rec = Recorder::builder().manual_clock(clock.clone()).build();
+    (rec, clock)
+}
+
+/// Enabled observability changes no bit of any `RunSummary`: all four
+/// schemes, inline and threaded DRAM channels.
+#[test]
+fn observed_runs_are_bit_identical_to_unobserved() {
+    let net = zoo::dlrm();
+    for channel_mode in [ChannelMode::Serial, ChannelMode::Threaded] {
+        let cfg = EvalConfig {
+            channel_mode,
+            ..EvalConfig::default()
+        };
+        for scheme in Scheme::all() {
+            let plain = evaluate(&net, Mode::Inference, scheme, &cfg);
+            let (rec, _clock) = manual_recorder();
+            let observed = evaluate_observed(&net, Mode::Inference, scheme, &cfg, rec.clone());
+            assert!(
+                bit_identical(&plain, &observed),
+                "{scheme:?}/{channel_mode:?}: observed run diverged from plain run"
+            );
+            // The passive observer still saw the run: DRAM issue counters
+            // and the per-channel time series are populated.
+            let snap = rec.snapshot();
+            assert!(
+                snap.counters.get("dram.reads").copied().unwrap_or(0) > 0,
+                "{scheme:?}/{channel_mode:?}: no dram.reads counted"
+            );
+            let qd = snap
+                .series
+                .get("dram.chan0.queue_depth")
+                .unwrap_or_else(|| panic!("{scheme:?}/{channel_mode:?}: no chan0 series"));
+            assert!(!qd.points.is_empty(), "chan0 queue-depth series empty");
+            assert!(
+                snap.histograms.contains_key("perf.simulate_ns"),
+                "simulate phase span missing"
+            );
+        }
+    }
+}
+
+/// A metered `DeviceServer` returns the same inference results as an
+/// unmetered one, and its step-latency histogram meters every step
+/// exactly once.
+#[test]
+fn metered_server_matches_unmetered_and_counts_steps() {
+    let net = testnet::tiny_mlp();
+    let weights = testnet::tiny_mlp_weights(9);
+    let inputs: Vec<Vec<i32>> = (0..3)
+        .map(|i| (0..8).map(|j| i * 8 + j - 11).collect())
+        .collect();
+
+    let run = |recorder: Option<Recorder>| {
+        let (device, maker_pk) = GuardNnDevice::provision(42, 7);
+        let mut server = DeviceServer::new(device);
+        if let Some(rec) = recorder {
+            server.set_recorder(rec);
+        }
+        let mut user = RemoteUser::new(maker_pk, 500);
+        let sid = server.connect(&mut user).expect("connect");
+        server.establish(sid, &mut user, true).expect("establish");
+        server
+            .load_model(sid, &mut user, &net, &weights)
+            .expect("load");
+        let out = server
+            .infer_batch(sid, &mut user, &inputs)
+            .expect("infer_batch");
+        server.disconnect(sid).expect("disconnect");
+        out
+    };
+
+    let plain = run(None);
+    let (rec, clock) = manual_recorder();
+    clock.set(1_000);
+    let metered = run(Some(rec.clone()));
+    assert_eq!(plain, metered, "metering changed inference results");
+    for (out, input) in plain.iter().zip(&inputs) {
+        assert_eq!(out, &testnet::tiny_mlp_reference(&weights, input));
+    }
+
+    let snap = rec.snapshot();
+    let hist = snap
+        .histograms
+        .get("server.step_ns")
+        .expect("step-latency histogram");
+    let steps = snap.counters.get("server.steps").copied().unwrap_or(0);
+    assert!(steps > 0, "no steps metered");
+    assert_eq!(hist.count, steps, "every step meters exactly one latency");
+    // The per-session histogram splits out the same steps.
+    assert!(
+        snap.histograms
+            .keys()
+            .any(|k| k.starts_with("server.step_ns.session.")),
+        "per-session step histogram missing"
+    );
+    assert_eq!(
+        snap.gauges.get("server.sessions").copied(),
+        Some(0),
+        "session gauge must return to zero after disconnect"
+    );
+    let kinds: Vec<&str> = snap.events.iter().map(|e| e.kind.as_str()).collect();
+    for kind in [
+        "server.connect",
+        "server.establish",
+        "server.load_model",
+        "server.disconnect",
+    ] {
+        assert!(kinds.contains(&kind), "journal missing {kind} event");
+    }
+}
