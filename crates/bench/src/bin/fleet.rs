@@ -1,0 +1,262 @@
+//! Session-churn load generator for the fault-tolerant fleet layer.
+//!
+//! Drives a [`FleetSupervisor`] through a scripted lifetime: a churn
+//! phase (admit → serve a batch → verify bit-exactness → disconnect →
+//! admit a replacement) against a fault schedule that kills one device
+//! mid-run and injects a transient burst on another, then a shed phase
+//! that fills the surviving capacity until admission control fires the
+//! typed overload rejection. Exit status 0 means every served output was
+//! bit-identical to the unprotected reference AND the run exercised at
+//! least one migration and one shed.
+//!
+//! ```text
+//! fleet          # smoke profile (default; seconds) — what CI runs
+//! fleet smoke    # same
+//! fleet full     # larger fleet and churn target
+//! ```
+//!
+//! `--bench-out FILE` writes a machine-readable summary (sessions
+//! served, inferences, migrations, retries, sheds, wall-clock) to FILE,
+//! extending the per-PR `BENCH_*.json` trajectory.
+
+use std::collections::VecDeque;
+use std::process::ExitCode;
+
+use guardnn::device::GuardNnDevice;
+use guardnn::fleet::{
+    DeviceFault, DeviceFaultPlan, DeviceId, FleetPolicy, FleetSessionId, FleetSupervisor,
+};
+use guardnn::session::RemoteUser;
+use guardnn::testnet;
+use guardnn::GuardNnError;
+use guardnn_bench::flag_value;
+use guardnn_bench::json::Json;
+use guardnn_obs::Recorder;
+
+/// One load profile: fleet shape, churn target, and fault schedule.
+struct Profile {
+    devices: usize,
+    /// Sessions kept live during the churn phase.
+    live: usize,
+    /// Sessions to serve end-to-end before the shed phase.
+    churn: usize,
+    /// Inputs per session batch.
+    batch: usize,
+    /// Operation index at which device 0 dies permanently.
+    crash_at: u64,
+    /// Transient burst on device 1: (first op, count).
+    burst: (u64, u64),
+}
+
+const SMOKE: Profile = Profile {
+    devices: 2,
+    live: 3,
+    churn: 8,
+    batch: 3,
+    crash_at: 40,
+    burst: (10, 2),
+};
+
+const FULL: Profile = Profile {
+    devices: 4,
+    live: 6,
+    churn: 32,
+    batch: 4,
+    crash_at: 120,
+    burst: (30, 3),
+};
+
+/// One live session with its user and per-session expected outputs.
+struct Live {
+    sid: FleetSessionId,
+    user: RemoteUser,
+    weights: Vec<Vec<i32>>,
+}
+
+struct RunStats {
+    served: u64,
+    inferences: u64,
+    mismatches: u64,
+    shed: u64,
+}
+
+fn input_for(session: usize, k: usize) -> Vec<i32> {
+    (0..8)
+        .map(|i| ((session * 13 + k * 5 + i * 3) as i32 % 19) - 9)
+        .collect()
+}
+
+/// Admits, establishes, and loads one fresh session.
+fn admit(
+    fleet: &mut FleetSupervisor,
+    maker: &guardnn_crypto::schnorr::VerifyingKey,
+    index: usize,
+) -> Result<Live, GuardNnError> {
+    let mut user = RemoteUser::new(maker.clone(), 5000 + index as u64);
+    let sid = fleet.connect()?;
+    fleet.establish(sid, &mut user, true)?;
+    let weights = testnet::tiny_mlp_weights(index as i32);
+    fleet.load_model(sid, &mut user, &testnet::tiny_mlp(), &weights)?;
+    Ok(Live { sid, user, weights })
+}
+
+fn run(
+    profile: &Profile,
+    fleet: &mut FleetSupervisor,
+    maker_pk: &guardnn_crypto::schnorr::VerifyingKey,
+) -> Result<RunStats, GuardNnError> {
+    let mut stats = RunStats {
+        served: 0,
+        inferences: 0,
+        mismatches: 0,
+        shed: 0,
+    };
+    let mut next_index = 0usize;
+    let mut queue: VecDeque<Live> = VecDeque::new();
+    for _ in 0..profile.live {
+        queue.push_back(admit(fleet, maker_pk, next_index)?);
+        next_index += 1;
+    }
+
+    // Churn: serve the oldest live session's batch, verify every output
+    // against the unprotected reference, release the slot, refill.
+    while stats.served < profile.churn as u64 {
+        let mut live = queue.pop_front().ok_or(GuardNnError::NoSession)?;
+        let session = live.sid.raw() as usize;
+        let inputs: Vec<Vec<i32>> = (0..profile.batch).map(|k| input_for(session, k)).collect();
+        let outputs = fleet.infer_batch(live.sid, &mut live.user, &inputs)?;
+        for (input, output) in inputs.iter().zip(&outputs) {
+            stats.inferences += 1;
+            if *output != testnet::tiny_mlp_reference(&live.weights, input) {
+                stats.mismatches += 1;
+            }
+        }
+        fleet.disconnect(live.sid)?;
+        stats.served += 1;
+        queue.push_back(admit(fleet, maker_pk, next_index)?);
+        next_index += 1;
+    }
+
+    // Shed: fill the surviving capacity until admission control rejects
+    // with the typed overload, then release everything.
+    let mut extras = Vec::new();
+    loop {
+        match fleet.connect() {
+            Ok(sid) => extras.push(sid),
+            Err(GuardNnError::FleetOverloaded { .. }) => {
+                stats.shed += 1;
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    for sid in extras {
+        fleet.disconnect(sid)?;
+    }
+    for live in queue {
+        fleet.disconnect(live.sid)?;
+    }
+    Ok(stats)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench_out = flag_value(&args, "--bench-out");
+    let mode = guardnn_bench::positional(&args).unwrap_or_else(|| "smoke".into());
+    let profile = match mode.as_str() {
+        "smoke" => &SMOKE,
+        "full" => &FULL,
+        other => {
+            eprintln!("unknown mode `{other}` (expected `smoke` or `full`)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let started = std::time::Instant::now();
+    let mut devices = Vec::new();
+    let mut maker = None;
+    for i in 0..profile.devices {
+        let (d, pk) = GuardNnDevice::provision(0x0F1EE7 + i as u64, 0xBE2C);
+        maker = Some(pk);
+        devices.push(d);
+    }
+    let maker_pk = match maker {
+        Some(pk) => pk,
+        None => {
+            eprintln!("profile has no devices");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut fleet = FleetSupervisor::new(devices, FleetPolicy::default());
+    let recorder = Recorder::enabled();
+    fleet.set_recorder(recorder.clone());
+    let (burst_at, burst_count) = profile.burst;
+    let plan0 = DeviceFaultPlan {
+        faults: vec![DeviceFault::Crash {
+            at: profile.crash_at,
+        }],
+    };
+    if fleet.set_fault_plan(DeviceId(0), plan0).is_err()
+        || fleet
+            .set_fault_plan(
+                DeviceId(1),
+                DeviceFaultPlan::transient(burst_at, burst_count),
+            )
+            .is_err()
+    {
+        eprintln!("fault plans rejected");
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "fleet churn ({mode}): {} devices, {} live sessions, {} to serve, batch {}",
+        profile.devices, profile.live, profile.churn, profile.batch
+    );
+    let stats = match run(profile, &mut fleet, &maker_pk) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fleet run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let snap = recorder.snapshot();
+    let migrations = snap.counters.get("fleet.migrations").copied().unwrap_or(0);
+    let retries = snap.counters.get("fleet.retries").copied().unwrap_or(0);
+    let correct = stats.mismatches == 0;
+    let passed = correct && migrations >= 1 && stats.shed >= 1;
+    let wall_s = started.elapsed().as_secs_f64();
+
+    println!(
+        "served {} sessions / {} inferences ({} mismatches), {} migrations, {} retries, {} shed",
+        stats.served, stats.inferences, stats.mismatches, migrations, retries, stats.shed
+    );
+    println!("verdict: {}", if passed { "pass" } else { "FAIL" });
+
+    if let Some(path) = bench_out {
+        let doc = Json::obj()
+            .field("bench", "fleet")
+            .field("mode", mode.as_str())
+            .field("devices", profile.devices as u64)
+            .field("sessions_served", stats.served)
+            .field("inferences", stats.inferences)
+            .field("mismatches", stats.mismatches)
+            .field("migrations", migrations)
+            .field("retries", retries)
+            .field("shed", stats.shed)
+            .field("passed", passed)
+            .field("wall_s", wall_s);
+        // Trailing newline keeps the committed artifact diff-friendly.
+        match std::fs::write(&path, doc.render() + "\n") {
+            Ok(()) => println!("wrote benchmark record to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if passed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

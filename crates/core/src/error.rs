@@ -61,6 +61,26 @@ pub enum GuardNnError {
         /// The offending session id.
         session: u64,
     },
+    /// A fleet device died permanently (crash, permanent channel loss):
+    /// no retry can reach it, sessions bound to it must migrate.
+    DeviceLost {
+        /// Fleet index of the dead device.
+        device: u64,
+    },
+    /// A fleet device missed its deadline (hang, transient channel
+    /// fault): the operation did not execute and may be retried.
+    DeviceTimeout {
+        /// Fleet index of the stalled device.
+        device: u64,
+    },
+    /// Admission control rejected a new session: every healthy device is
+    /// at its session budget. Shed load instead of queueing.
+    FleetOverloaded {
+        /// Sessions currently admitted.
+        sessions: usize,
+        /// The fleet-wide session capacity at rejection time.
+        capacity: usize,
+    },
 }
 
 impl GuardNnError {
@@ -82,6 +102,9 @@ impl GuardNnError {
             Self::BadPublicKey => "BadPublicKey",
             Self::CounterExhausted { .. } => "CounterExhausted",
             Self::UnknownSession { .. } => "UnknownSession",
+            Self::DeviceLost { .. } => "DeviceLost",
+            Self::DeviceTimeout { .. } => "DeviceTimeout",
+            Self::FleetOverloaded { .. } => "FleetOverloaded",
         }
     }
 }
@@ -111,6 +134,18 @@ impl fmt::Display for GuardNnError {
             Self::UnknownSession { session } => {
                 write!(f, "unknown session id {session}")
             }
+            Self::DeviceLost { device } => {
+                write!(f, "device {device} lost: sessions must migrate")
+            }
+            Self::DeviceTimeout { device } => {
+                write!(f, "device {device} missed its deadline: retryable")
+            }
+            Self::FleetOverloaded { sessions, capacity } => {
+                write!(
+                    f,
+                    "fleet overloaded: {sessions} sessions at capacity {capacity}"
+                )
+            }
         }
     }
 }
@@ -138,6 +173,12 @@ mod tests {
             GuardNnError::BadPublicKey,
             GuardNnError::CounterExhausted { counter: "CTR_IN" },
             GuardNnError::UnknownSession { session: 3 },
+            GuardNnError::DeviceLost { device: 0 },
+            GuardNnError::DeviceTimeout { device: 1 },
+            GuardNnError::FleetOverloaded {
+                sessions: 8,
+                capacity: 8,
+            },
         ];
         for e in cases {
             let msg = e.to_string();
@@ -160,6 +201,19 @@ mod tests {
         assert_eq!(
             GuardNnError::InvalidState("whatever").name(),
             "InvalidState"
+        );
+        assert_eq!(GuardNnError::DeviceLost { device: 2 }.name(), "DeviceLost");
+        assert_eq!(
+            GuardNnError::DeviceTimeout { device: 2 }.name(),
+            "DeviceTimeout"
+        );
+        assert_eq!(
+            GuardNnError::FleetOverloaded {
+                sessions: 1,
+                capacity: 1
+            }
+            .name(),
+            "FleetOverloaded"
         );
     }
 

@@ -6,6 +6,29 @@
 //! paper offloads to the host), and a set of malicious variants used by the
 //! security tests: wrong read counters, reordered layers, and attempts to
 //! exfiltrate data. None of them can break confidentiality.
+//!
+//! # Example: the honest host runs one private inference
+//!
+//! ```
+//! use guardnn::device::GuardNnDevice;
+//! use guardnn::host::UntrustedHost;
+//! use guardnn::session::RemoteUser;
+//! use guardnn::testnet;
+//!
+//! # fn main() -> Result<(), guardnn::GuardNnError> {
+//! let (mut device, manufacturer_pk) = GuardNnDevice::provision(3, 11);
+//! let mut user = RemoteUser::new(manufacturer_pk, 5);
+//! let net = testnet::tiny_mlp();
+//! let weights = testnet::tiny_mlp_weights(2);
+//! let input = vec![2, -1, 0, 4, 3, -2, 1, 5];
+//!
+//! let mut host = UntrustedHost::new();
+//! let output = host.run_inference(&mut device, &mut user, &net, &weights, &input, true)?;
+//! // The host saw only ciphertext, yet the result is the plaintext math.
+//! assert_eq!(output, testnet::tiny_mlp_reference(&weights, &input));
+//! # Ok(())
+//! # }
+//! ```
 
 use crate::device::GuardNnDevice;
 use crate::error::GuardNnError;

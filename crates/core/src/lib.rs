@@ -24,6 +24,10 @@
 //!   N interleaved user sessions, explicit per-session state machines,
 //!   `SetReadCTR` checkpoint/replay on preemption, and ISA-level input
 //!   batching (`infer_batch`).
+//! * [`fleet`] — fault-tolerant fleet supervision over M servers:
+//!   scripted device faults ([`fleet::DeviceFaultPlan`]), transient-vs-
+//!   fatal classification with bounded backoff, session migration, and
+//!   typed load shedding ([`fleet::FleetSupervisor`]).
 //! * [`adversary`] — scripted fault injection ([`adversary::FaultPlan`]
 //!   message-stream faults, [`adversary::PhysicalFault`] DRAM attacks)
 //!   shared by the security suites, the chaos harness, and the examples.
@@ -59,6 +63,7 @@ pub mod adversary;
 pub mod attestation;
 pub mod device;
 pub mod error;
+pub mod fleet;
 pub mod host;
 pub mod isa;
 pub mod memory;
@@ -70,6 +75,7 @@ pub mod testnet;
 
 pub use device::GuardNnDevice;
 pub use error::GuardNnError;
+pub use fleet::{DeviceFaultPlan, DeviceId, FleetPolicy, FleetSessionId, FleetSupervisor};
 pub use isa::{Instruction, Response};
 pub use server::{DeviceServer, SessionId, SessionState};
 pub use session::RemoteUser;

@@ -19,6 +19,13 @@
 //!                                                          (last job exported)
 //! ```
 //!
+//! One transition is terminal and reachable from every post-`connect`
+//! state: [`DeviceServer::fail_session`] moves a session to
+//! [`SessionState::Failed`] when its device dies out from under it.
+//! A failed session refuses further work with a typed error; the fleet
+//! supervisor ([`crate::fleet`]) re-establishes its sessions on a
+//! healthy device instead of resuming them in place.
+//!
 //! Inference runs as a queue of per-input jobs advanced one *instruction*
 //! at a time by [`DeviceServer::step`], so the host can interleave
 //! instructions from different users at will. When a session is preempted
@@ -70,6 +77,12 @@ pub enum SessionState {
     Inferring,
     /// A training step is executing.
     Training,
+    /// Terminal: the session's device died (or a supervisor declared it
+    /// dead) and the session cannot resume in place. Its work must
+    /// migrate to another device — fresh key exchange, weights
+    /// re-imported, checkpoint replayed — or be torn down with
+    /// [`DeviceServer::disconnect`].
+    Failed,
 }
 
 /// Result of one [`DeviceServer::step`] call.
@@ -649,6 +662,11 @@ impl DeviceServer {
     /// [`DeviceServer::step`] minus the latency metering that wraps it.
     fn step_inner(&mut self, session: SessionId) -> Result<StepProgress, GuardNnError> {
         let entry = self.session_mut(session)?;
+        if entry.state == SessionState::Failed {
+            return Err(GuardNnError::InvalidState(
+                "session failed; migrate or disconnect",
+            ));
+        }
         if entry.jobs.is_empty() {
             return Ok(StepProgress::Idle);
         }
@@ -829,6 +847,40 @@ impl DeviceServer {
             }
         }
         Ok(cancelled)
+    }
+
+    /// Marks `session` as [`SessionState::Failed`]: its device died out
+    /// from under it and nothing on it can resume in place. Queued jobs,
+    /// the `SetReadCTR` checkpoint, and un-taken sealed outputs are
+    /// dropped — they were sealed under a channel whose device-side half
+    /// no longer exists — and the device-side slot handle is forgotten
+    /// (there is no live device to `CloseSession` on). The entry stays in
+    /// the table so the failure is observable
+    /// ([`DeviceServer::session_state`] reports `Failed`,
+    /// [`DeviceServer::step`] refuses with a typed
+    /// error) until [`DeviceServer::disconnect`] removes it. The fleet
+    /// supervisor calls this on every session stranded by a device crash
+    /// before re-establishing them elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// [`GuardNnError::UnknownSession`] for a dead handle.
+    pub fn fail_session(&mut self, session: SessionId) -> Result<(), GuardNnError> {
+        let entry = self.session_mut(session)?;
+        entry.state = SessionState::Failed;
+        entry.device_sid = None;
+        entry.jobs.clear();
+        entry.outputs.clear();
+        entry.checkpoint.clear();
+        entry.last_edge_vns.clear();
+        if self.active == Some(session.0) {
+            self.active = None;
+        }
+        if self.recorder.is_enabled() {
+            self.recorder
+                .event("server.fail", &[("session", &session.0.to_string())]);
+        }
+        Ok(())
     }
 
     /// Decrypts and pops the oldest finished output of `session`, if any.

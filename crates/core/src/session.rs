@@ -243,6 +243,18 @@ impl RemoteUser {
         Ok(())
     }
 
+    /// Drops the live secure channel (if any) and any half-finished key
+    /// exchange: until the next `begin_session`/`complete_session` pair
+    /// installs fresh keys, every tensor operation fails with
+    /// [`GuardNnError::NoSession`]. Migration calls this between devices —
+    /// the old channel's device-side half died with the failed device, and
+    /// discarding the user-side half eagerly turns any stale use into a
+    /// loud typed error instead of an undecryptable message.
+    pub fn reset_channel(&mut self) {
+        self.channel = None;
+        self.dh = None;
+    }
+
     fn channel_mut(&mut self) -> Result<&mut SecureChannel, GuardNnError> {
         self.channel.as_mut().ok_or(GuardNnError::NoSession)
     }

@@ -26,6 +26,10 @@ const EMBEDDED: &[(&str, &str)] = &[
     ("ddr4-3200", include_str!("../targets/ddr4-3200.yaml")),
     ("edge-32x32", include_str!("../targets/edge-32x32.yaml")),
     ("hbm-wide", include_str!("../targets/hbm-wide.yaml")),
+    (
+        "lpddr4-lowpower",
+        include_str!("../targets/lpddr4-lowpower.yaml"),
+    ),
 ];
 
 fn parsed() -> &'static [HardwareTarget] {

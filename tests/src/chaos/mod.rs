@@ -139,6 +139,16 @@ fn expect_counter_exhausted(_: Scheme) -> Outcome {
     Outcome::Detected("CounterExhausted")
 }
 
+fn expect_device_lost(_: Scheme) -> Outcome {
+    // A dead fleet device probes as the typed DeviceLost error for
+    // every scheme; the session itself recovers via migration.
+    Outcome::Detected("DeviceLost")
+}
+
+fn expect_fleet_overloaded(_: Scheme) -> Outcome {
+    Outcome::Detected("FleetOverloaded")
+}
+
 /// Every scenario family, in reporting order.
 pub fn all_scenarios() -> Vec<Scenario> {
     vec![
@@ -191,6 +201,21 @@ pub fn all_scenarios() -> Vec<Scenario> {
             name: "ctr-exhaust",
             run: scenarios::ctr_exhaust,
             expect: expect_counter_exhausted,
+        },
+        Scenario {
+            name: "fleet-crash-migrate",
+            run: scenarios::fleet_crash_migrate,
+            expect: expect_device_lost,
+        },
+        Scenario {
+            name: "fleet-keyx-crash",
+            run: scenarios::fleet_keyx_crash,
+            expect: expect_device_lost,
+        },
+        Scenario {
+            name: "fleet-overload",
+            run: scenarios::fleet_overload,
+            expect: expect_fleet_overloaded,
         },
     ]
 }
@@ -682,6 +707,11 @@ mod tests {
             assert_eq!(
                 expect_counter_exhausted(s),
                 Outcome::Detected("CounterExhausted")
+            );
+            assert_eq!(expect_device_lost(s), Outcome::Detected("DeviceLost"));
+            assert_eq!(
+                expect_fleet_overloaded(s),
+                Outcome::Detected("FleetOverloaded")
             );
             let e = expect_integrity_or_garble(s);
             if integrity_of(s) {

@@ -13,6 +13,7 @@ use guardnn::adversary::{
     FaultPlan, PhysicalFault,
 };
 use guardnn::device::{GuardNnDevice, MAX_SESSIONS};
+use guardnn::fleet::{DeviceFaultPlan, DeviceId, FleetPolicy, FleetSessionId, FleetSupervisor};
 use guardnn::host::UntrustedHost;
 use guardnn::isa::Instruction;
 use guardnn::perf::Scheme;
@@ -20,6 +21,7 @@ use guardnn::server::{DeviceServer, SessionState, StepProgress};
 use guardnn::session::RemoteUser;
 use guardnn::testnet;
 use guardnn::GuardNnError;
+use guardnn_crypto::schnorr::VerifyingKey;
 use guardnn_models::Network;
 
 use super::{integrity_of, ChaosConfig, Outcome, ScenarioResult};
@@ -361,5 +363,138 @@ pub(super) fn ctr_exhaust(
     )?;
     let (out, _) = r.host.infer(&mut r.device, &mut r.user, &r.net, &input)?;
     clean &= out == reference;
+    Ok(ScenarioResult { tampered, clean })
+}
+
+// ---------------------------------------------------------------------------
+// Fleet families: device failover over a FleetSupervisor.
+// ---------------------------------------------------------------------------
+
+/// A fleet of `devices` servers provisioned by one manufacturer, plus a
+/// user pinning that manufacturer's key (so one user can verify every
+/// device's certificate across migrations).
+fn fleet_rig(
+    cfg: &ChaosConfig,
+    devices: usize,
+    budget: usize,
+) -> (FleetSupervisor, RemoteUser, VerifyingKey) {
+    let maker_seed = cfg.seed ^ 0xF1EE7;
+    let mut fleet_devices = Vec::new();
+    let mut maker = None;
+    for i in 0..devices {
+        let (d, pk) = GuardNnDevice::provision(0x10 + i as u64, maker_seed);
+        maker = Some(pk);
+        fleet_devices.push(d);
+    }
+    let maker = maker.expect("at least one device");
+    let user = RemoteUser::new(maker.clone(), cfg.seed ^ 0x5EED);
+    let policy = FleetPolicy {
+        per_device_budget: budget,
+        ..FleetPolicy::default()
+    };
+    (FleetSupervisor::new(fleet_devices, policy), user, maker)
+}
+
+/// Runs one batch through the fleet and reports whether every output is
+/// bit-exact against the unprotected reference.
+fn fleet_batch_exact(
+    fleet: &mut FleetSupervisor,
+    sid: FleetSessionId,
+    user: &mut RemoteUser,
+    weights: &[Vec<i32>],
+    cfg: &ChaosConfig,
+) -> Result<bool, GuardNnError> {
+    let len = cfg.stream_len.max(2);
+    let inputs: Vec<Vec<i32>> = (0..len)
+        .map(|k| base_input(cfg.seed.wrapping_add(k as u64)))
+        .collect();
+    let outputs = fleet.infer_batch(sid, user, &inputs)?;
+    Ok(outputs.len() == inputs.len()
+        && inputs
+            .iter()
+            .zip(&outputs)
+            .all(|(i, o)| *o == testnet::tiny_mlp_reference(weights, i)))
+}
+
+/// Device crash mid-batch: the session must migrate to the healthy
+/// device (fresh key exchange, one weight re-import) and finish the
+/// batch bit-exact. The tampered observation is the dead device's typed
+/// probe error.
+pub(super) fn fleet_crash_migrate(
+    scheme: Scheme,
+    cfg: &ChaosConfig,
+) -> Result<ScenarioResult, GuardNnError> {
+    let (mut fleet, mut user, _) = fleet_rig(cfg, 2, FleetPolicy::default().per_device_budget);
+    // Ops 0..2 are connect/establish/load, 3.. begin the batch; op 12 is
+    // well inside the first job's instruction stream.
+    fleet.set_fault_plan(DeviceId(0), DeviceFaultPlan::crash_at(12))?;
+    let net = testnet::tiny_mlp();
+    let weights = testnet::tiny_mlp_weights(WEIGHT_SEED);
+    let sid = fleet.connect()?;
+    fleet.establish(sid, &mut user, integrity_of(scheme))?;
+    fleet.load_model(sid, &mut user, &net, &weights)?;
+    let mut clean = fleet_batch_exact(&mut fleet, sid, &mut user, &weights, cfg)?;
+    clean &= fleet.session_migrations(sid) == Some(1);
+    clean &= fleet.session_device(sid) == Some(DeviceId(1));
+    let tampered = match fleet.probe(DeviceId(0)) {
+        Err(e) => Outcome::Detected(e.name()),
+        Ok(()) => Outcome::Clean,
+    };
+    Ok(ScenarioResult { tampered, clean })
+}
+
+/// Device crash during the key exchange: `establish` must fail over to
+/// the healthy device transparently — a clean re-establish, no typed
+/// error surfacing to the session.
+pub(super) fn fleet_keyx_crash(
+    scheme: Scheme,
+    cfg: &ChaosConfig,
+) -> Result<ScenarioResult, GuardNnError> {
+    let (mut fleet, mut user, _) = fleet_rig(cfg, 2, FleetPolicy::default().per_device_budget);
+    // Op 0 is the certificate fetch, op 1 the key exchange itself.
+    fleet.set_fault_plan(DeviceId(0), DeviceFaultPlan::crash_at(1))?;
+    let net = testnet::tiny_mlp();
+    let weights = testnet::tiny_mlp_weights(WEIGHT_SEED);
+    let sid = fleet.connect()?;
+    fleet.establish(sid, &mut user, integrity_of(scheme))?;
+    let mut clean = fleet.session_device(sid) == Some(DeviceId(1));
+    fleet.load_model(sid, &mut user, &net, &weights)?;
+    clean &= fleet_batch_exact(&mut fleet, sid, &mut user, &weights, cfg)?;
+    let tampered = match fleet.probe(DeviceId(0)) {
+        Err(e) => Outcome::Detected(e.name()),
+        Ok(()) => Outcome::Clean,
+    };
+    Ok(ScenarioResult { tampered, clean })
+}
+
+/// Admission control: a one-device, one-session fleet must shed the
+/// second session with the typed overload rejection — and admit it
+/// cleanly (bit-exact service) once the first session disconnects.
+pub(super) fn fleet_overload(
+    scheme: Scheme,
+    cfg: &ChaosConfig,
+) -> Result<ScenarioResult, GuardNnError> {
+    let (mut fleet, mut user_a, maker) = fleet_rig(cfg, 1, 1);
+    let net = testnet::tiny_mlp();
+    let weights = testnet::tiny_mlp_weights(WEIGHT_SEED);
+    let sid_a = fleet.connect()?;
+    fleet.establish(sid_a, &mut user_a, integrity_of(scheme))?;
+    fleet.load_model(sid_a, &mut user_a, &net, &weights)?;
+    let mut clean = fleet_batch_exact(&mut fleet, sid_a, &mut user_a, &weights, cfg)?;
+
+    // The fleet is at capacity: the next admission must shed, typed.
+    let tampered = match fleet.connect() {
+        Err(e) => Outcome::Detected(e.name()),
+        Ok(_) => Outcome::Clean,
+    };
+
+    // Shedding is not a wedge: once the slot frees, a second user is
+    // admitted and served bit-exact.
+    fleet.disconnect(sid_a)?;
+    let mut user_b = RemoteUser::new(maker, cfg.seed ^ 0xB0B);
+    let sid_b = fleet.connect()?;
+    fleet.establish(sid_b, &mut user_b, integrity_of(scheme))?;
+    fleet.load_model(sid_b, &mut user_b, &net, &weights)?;
+    clean &= fleet_batch_exact(&mut fleet, sid_b, &mut user_b, &weights, cfg)?;
     Ok(ScenarioResult { tampered, clean })
 }

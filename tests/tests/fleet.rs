@@ -1,0 +1,145 @@
+//! Differential tests for the fault-tolerant fleet layer: a fleet under
+//! injected transient faults and a mid-batch device crash must, after
+//! retries and one migration, produce outputs bit-identical to an
+//! unfaulted serial [`DeviceServer`] run — for every perf scheme — and
+//! surface the recovery in the observability snapshot.
+
+use guardnn::device::GuardNnDevice;
+use guardnn::fleet::{
+    DeviceFault, DeviceFaultPlan, DeviceHealth, DeviceId, FleetPolicy, FleetSupervisor,
+};
+use guardnn::perf::Scheme;
+use guardnn::server::DeviceServer;
+use guardnn::session::RemoteUser;
+use guardnn::testnet;
+use guardnn_crypto::schnorr::VerifyingKey;
+use guardnn_obs::clock::ManualClock;
+use guardnn_obs::Recorder;
+use guardnn_tests::chaos::integrity_of;
+
+const MAKER_SEED: u64 = 4242;
+const WEIGHT_SEED: i32 = 21;
+
+fn fleet_of(n: usize) -> (FleetSupervisor, VerifyingKey) {
+    let mut devices = Vec::new();
+    let mut maker = None;
+    for i in 0..n {
+        let (d, pk) = GuardNnDevice::provision(700 + i as u64, MAKER_SEED);
+        maker = Some(pk);
+        devices.push(d);
+    }
+    (
+        FleetSupervisor::new(devices, FleetPolicy::default()),
+        maker.expect("at least one device"),
+    )
+}
+
+fn batch_inputs(n: usize) -> Vec<Vec<i32>> {
+    (0..n)
+        .map(|k| (0..8).map(|i| ((k * 11 + i * 3) as i32 % 17) - 8).collect())
+        .collect()
+}
+
+/// The unfaulted oracle: the same batch served serially by one plain
+/// [`DeviceServer`].
+fn serial_oracle(integrity: bool, inputs: &[Vec<i32>]) -> Vec<Vec<i32>> {
+    let (device, maker_pk) = GuardNnDevice::provision(999, MAKER_SEED);
+    let mut server = DeviceServer::new(device);
+    let mut user = RemoteUser::new(maker_pk, 31);
+    let net = testnet::tiny_mlp();
+    let weights = testnet::tiny_mlp_weights(WEIGHT_SEED);
+    let sid = server.connect(&mut user).expect("connect");
+    server
+        .establish(sid, &mut user, integrity)
+        .expect("establish");
+    server
+        .load_model(sid, &mut user, &net, &weights)
+        .expect("load");
+    server
+        .infer_batch(sid, &mut user, inputs)
+        .expect("serial batch")
+}
+
+/// Transient burst during submission plus a permanent crash mid-batch:
+/// the session retries through the burst in place, migrates exactly once
+/// for the crash, and the six outputs are bit-identical to the serial
+/// oracle — under every scheme. The recovery is visible in the snapshot
+/// and the migrated device imported the weights exactly once.
+#[test]
+fn faulted_fleet_matches_unfaulted_serial_run() {
+    let inputs = batch_inputs(6);
+    for scheme in Scheme::all() {
+        let integrity = integrity_of(scheme);
+        let expected = serial_oracle(integrity, &inputs);
+
+        let (mut fleet, maker_pk) = fleet_of(3);
+        let clock = ManualClock::new();
+        let recorder = Recorder::builder().manual_clock(clock.clone()).build();
+        fleet.set_recorder(recorder.clone());
+        fleet.set_manual_clock(clock);
+        // Ops 0..2 are connect/establish/load, ops 3.. submit the batch.
+        // The transient window at ops 6..7 is consumed by the two retries
+        // of the fourth submission; op 18 lands inside the second job.
+        fleet
+            .set_fault_plan(
+                DeviceId(0),
+                DeviceFaultPlan {
+                    faults: vec![
+                        DeviceFault::Transient { at: 6, count: 2 },
+                        DeviceFault::Crash { at: 18 },
+                    ],
+                },
+            )
+            .expect("plan");
+
+        let net = testnet::tiny_mlp();
+        let weights = testnet::tiny_mlp_weights(WEIGHT_SEED);
+        let mut user = RemoteUser::new(maker_pk.clone(), 31);
+        let sid = fleet.connect().expect("connect");
+        fleet
+            .establish(sid, &mut user, integrity)
+            .expect("establish");
+        fleet
+            .load_model(sid, &mut user, &net, &weights)
+            .expect("load");
+        let outputs = fleet
+            .infer_batch(sid, &mut user, &inputs)
+            .expect("faulted batch");
+        assert_eq!(outputs, expected, "{scheme:?}: outputs diverge from serial");
+
+        // The crash was survived by exactly one migration and the burst
+        // by exactly two in-place retries.
+        assert_eq!(fleet.session_migrations(sid), Some(1), "{scheme:?}");
+        assert_eq!(
+            fleet.device_health(DeviceId(0)),
+            Some(DeviceHealth::Failed),
+            "{scheme:?}"
+        );
+        let home = fleet.session_device(sid).expect("session placed");
+        assert_ne!(home, DeviceId(0), "{scheme:?}: still on the dead device");
+
+        // Migration re-ran the key exchange and re-imported the weights
+        // exactly once on the new home device.
+        let stats = fleet.device_stats(home).expect("stats");
+        assert_eq!(stats.count("INITSESSION"), 1, "{scheme:?}");
+        assert_eq!(
+            stats.count("SETWEIGHT"),
+            net.layers().len() as u64,
+            "{scheme:?}"
+        );
+
+        // Recovery is observable: counters, the backoff histogram (two
+        // waits of 1 and 2 steps), and one recovery-latency sample.
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counters.get("fleet.migrations"), Some(&1));
+        assert_eq!(snap.counters.get("fleet.retries"), Some(&2));
+        assert_eq!(snap.counters.get("fleet.faults.transient"), Some(&2));
+        assert_eq!(snap.counters.get("fleet.faults.fatal"), Some(&1));
+        let backoff = snap.histograms.get("fleet.backoff_steps").expect("hist");
+        assert_eq!((backoff.count, backoff.sum), (2, 3));
+        let recovery = snap.histograms.get("fleet.recovery_ns").expect("hist");
+        assert_eq!(recovery.count, 1);
+        assert!(recovery.sum > 0, "recovery latency not measured");
+        assert_eq!(snap.gauges.get("fleet.devices.healthy"), Some(&2));
+    }
+}

@@ -2,8 +2,9 @@
 //! of concurrent sessions must behave exactly like serial execution, and
 //! one session's (malicious) `SetReadCTR` must never perturb another's.
 
+use guardnn::adversary::park_counters;
 use guardnn::device::GuardNnDevice;
-use guardnn::server::{DeviceServer, SessionId, StepProgress};
+use guardnn::server::{DeviceServer, SessionId, SessionState, StepProgress};
 use guardnn::session::RemoteUser;
 use guardnn::testnet;
 use proptest::prelude::*;
@@ -62,6 +63,84 @@ fn run_schedule(server: &mut DeviceServer, sids: &[SessionId], schedule: &[usize
             if !done[i] {
                 done[i] = server.step(*sid).expect("step") == StepProgress::Finished;
             }
+        }
+    }
+}
+
+/// One `step()` error path: mutate a mid-inference session, then assert
+/// the typed error `step()` surfaces and the session state left behind.
+struct ErrorPath {
+    name: &'static str,
+    integrity: bool,
+    inject: fn(&mut DeviceServer, SessionId, &mut RemoteUser),
+    expect_err: &'static str,
+    expect_state: Option<SessionState>,
+}
+
+/// Every `step()` error path leaves the session in a well-defined state:
+/// dead handles are typed `UnknownSession`, a failed session is terminal
+/// (`InvalidState` until disconnected), an integrity fault fires mid-job
+/// without tearing the session down, and counter exhaustion is typed
+/// before any counter reuse.
+#[test]
+fn step_error_paths_leave_typed_errors_and_states() {
+    let table = [
+        ErrorPath {
+            name: "unknown-session",
+            integrity: false,
+            inject: |server, sid, _| server.disconnect(sid).expect("disconnect"),
+            expect_err: "UnknownSession",
+            expect_state: None,
+        },
+        ErrorPath {
+            name: "failed-terminal",
+            integrity: false,
+            inject: |server, sid, _| server.fail_session(sid).expect("fail"),
+            expect_err: "InvalidState",
+            expect_state: Some(SessionState::Failed),
+        },
+        ErrorPath {
+            name: "poisoned-read-ctr",
+            integrity: true,
+            inject: |server, sid, _| {
+                server.poison_read_ctr(sid, 0, 0xDEAD).expect("poison");
+            },
+            expect_err: "IntegrityViolation",
+            expect_state: Some(SessionState::Inferring),
+        },
+        ErrorPath {
+            name: "counter-exhausted",
+            integrity: false,
+            inject: |server, _, _| {
+                park_counters(server.device_mut(), u32::MAX, 0, 0).expect("park");
+            },
+            expect_err: "CounterExhausted",
+            expect_state: Some(SessionState::Inferring),
+        },
+    ];
+    for row in table {
+        let (mut server, mut users, sids, inputs, _) = setup(1, row.integrity);
+        server
+            .begin_infer(sids[0], &mut users[0], &inputs[0])
+            .expect("begin");
+        (row.inject)(&mut server, sids[0], &mut users[0]);
+        let err = (0..20)
+            .find_map(|_| server.step(sids[0]).err())
+            .unwrap_or_else(|| panic!("{}: step never errored", row.name));
+        assert_eq!(err.name(), row.expect_err, "{}: wrong error", row.name);
+        assert_eq!(
+            server.session_state(sids[0]),
+            row.expect_state,
+            "{}: wrong state",
+            row.name
+        );
+        // A failed session is terminal but not a leak: it can still be
+        // disconnected, and its slot becomes reusable.
+        if row.expect_state == Some(SessionState::Failed) {
+            server
+                .disconnect(sids[0])
+                .expect("disconnect failed session");
+            assert_eq!(server.session_state(sids[0]), None);
         }
     }
 }
